@@ -1,0 +1,41 @@
+"""Shared benchmark plumbing.
+
+Every benchmark regenerates one table or figure of the paper and prints
+the same rows/series the paper plots.  ``pedantic(rounds=1)`` is used
+throughout: these are figure-regeneration harnesses, not
+micro-benchmarks — a single run per figure is the deliverable, and its
+wall-clock time is reported by pytest-benchmark as a bonus.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Callable, Dict, Optional
+
+from repro.experiments import format_series
+from repro.experiments.export import write_series_csv, write_series_json
+
+ARTIFACTS = Path(__file__).parent / "artifacts"
+
+
+def run_figure(benchmark, fn: Callable[[], Dict[str, Any]],
+               printer: Callable[[Dict[str, Any]], str] = format_series,
+               artifact: Optional[str] = None):
+    """Run a figure experiment once under the benchmark clock, print the
+    regenerated series, and (for series-shaped results) drop CSV/JSON
+    artifacts under ``benchmarks/artifacts/``."""
+    result = benchmark.pedantic(fn, rounds=1, iterations=1)
+    print()
+    print(printer(result))
+    if "series" in result:
+        name = artifact or _artifact_name(result)
+        ARTIFACTS.mkdir(exist_ok=True)
+        write_series_csv(result, ARTIFACTS / f"{name}.csv")
+        write_series_json(result, ARTIFACTS / f"{name}.json")
+    return result
+
+
+def _artifact_name(result: Dict[str, Any]) -> str:
+    title = result.get("title", "figure")
+    stem = title.split("—")[0].strip().lower().replace(".", "").replace(" ", "")
+    return stem or "figure"

@@ -1,0 +1,37 @@
+"""Ablation — dynamic linear voting (Section II-D) on vs off.
+
+The distinguished-node rule lets an allocator whose even-sized quorum
+universe includes itself commit on a half-set, shaving the quorum round
+trip off the critical path.  This ablation measures configuration
+latency with and without it.
+"""
+
+from repro.experiments import Scenario, ScenarioRunner, format_table
+from repro.experiments.figures import quorum_cfg
+
+
+def run_pair():
+    rows = []
+    for nn in (50, 100, 150):
+        latencies = {}
+        for linear in (True, False):
+            runner = ScenarioRunner(
+                Scenario.paper_default(num_nodes=nn, seed=1,
+                                       settle_time=15.0),
+                "quorum", quorum_cfg(use_linear_voting=linear))
+            result = runner.run()
+            latencies[linear] = result.avg_config_latency_hops()
+        rows.append([nn, latencies[True], latencies[False]])
+    return rows
+
+
+def test_ablation_linear_voting(benchmark):
+    rows = benchmark.pedantic(run_pair, rounds=1, iterations=1)
+    print()
+    print("Ablation — dynamic linear voting")
+    print(format_table(["nodes", "linear voting", "strict majority"], rows))
+    # Linear voting never makes configuration slower on average.
+    import statistics
+    with_lv = statistics.mean(r[1] for r in rows)
+    without = statistics.mean(r[2] for r in rows)
+    assert with_lv <= without * 1.1

@@ -1,0 +1,55 @@
+"""Overall protocol comparison matrix.
+
+Not a single paper figure, but the evaluation's executive summary: all
+seven implemented protocols on one workload, across the metrics the
+paper compares (plus the safety property the quorum protocol is built
+for).
+"""
+
+from repro.experiments import Scenario, format_table, run_scenario
+from repro.experiments.runner import PROTOCOLS
+
+
+def run_matrix():
+    scenario = Scenario.paper_default(
+        num_nodes=100, seed=1,
+        depart_fraction=0.3, abrupt_probability=0.2,
+        settle_time=30.0,
+    )
+    rows = []
+    results = {}
+    for protocol in sorted(PROTOCOLS):
+        result = run_scenario(scenario, protocol=protocol)
+        results[protocol] = result
+        rows.append([
+            protocol,
+            f"{100 * result.configuration_success_rate():.0f} %",
+            round(result.avg_config_latency_hops(), 1),
+            round(result.config_overhead_per_node(), 1),
+            round(result.departure_overhead_per_departure(), 1),
+            round(result.reclamation_overhead(), 1),
+            result.duplicate_addresses,
+        ])
+    return rows, results
+
+
+def test_comparison_matrix(benchmark):
+    rows, results = benchmark.pedantic(run_matrix, rounds=1, iterations=1)
+    print()
+    print("Protocol comparison — 100 nodes, 30 % departures (20 % abrupt)")
+    print("(duplicates for manetconf stem from partition splits this"
+          " reproduction's MANETconf does not re-merge; prophet's from"
+          " its probabilistic allocation — both are the behaviors the"
+          " paper's protocol is designed to avoid)")
+    print(format_table(
+        ["protocol", "configured", "latency", "config hops/node",
+         "departure hops", "reclamation hops", "duplicates"],
+        rows,
+    ))
+    quorum = results["quorum"]
+    # The protocol's headline properties on the shared workload:
+    assert quorum.duplicate_addresses == 0
+    assert quorum.avg_config_latency_hops() < (
+        results["manetconf"].avg_config_latency_hops())
+    assert quorum.config_overhead_per_node() < (
+        results["buddy"].config_overhead_per_node())

@@ -1,0 +1,18 @@
+"""Fig. 4 — an example randomly generated network layout.
+
+100 nodes in a 1 km x 1 km area; prints an ASCII rendering with cluster
+heads marked, mirroring the paper's example snapshot.
+"""
+
+from repro.experiments import figures
+from repro.experiments.report import format_layout
+
+from benchmarks.conftest import run_figure
+
+
+def test_fig04_layout(benchmark):
+    layout = run_figure(
+        benchmark, lambda: figures.fig04_layout(num_nodes=100, seed=1),
+        printer=format_layout)
+    assert layout["configured"] >= 95
+    assert layout["head_count"] >= 5

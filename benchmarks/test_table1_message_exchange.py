@@ -1,0 +1,27 @@
+"""Table 1 — the cluster-head configuration message exchange.
+
+Regenerates the CH_REQ / CH_PRP / CH_CNF / QUORUM_CLT / QUORUM_CFM /
+CH_CFG / CH_ACK sequence on a topology where the allocator holds a
+two-member QDSet, and checks it against the paper's table.
+"""
+
+from repro.experiments import figures
+
+from benchmarks.conftest import run_figure
+
+
+def render(outcome):
+    lines = [outcome["title"], ""]
+    lines.append(f"expected: {' -> '.join(outcome['expected'])}")
+    lines.append(f"observed: {' -> '.join(outcome['observed'])}")
+    lines.append("")
+    lines.append("trace (message, src -> dst):")
+    for mtype, src, dst in outcome["trace"]:
+        lines.append(f"  {mtype:<12} {src} -> {dst}")
+    return "\n".join(lines)
+
+
+def test_table1_message_exchange(benchmark):
+    outcome = run_figure(
+        benchmark, figures.table1_message_exchange, printer=render)
+    assert outcome["observed"] == outcome["expected"]

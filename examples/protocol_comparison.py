@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Protocol comparison — the paper's evaluation in one table.
+
+Runs the same workload under every implemented protocol (the
+quorum-based protocol of the paper, MANETconf [1], the buddy scheme [2],
+the C-tree scheme [3], plus the surveyed stateless DAD, Weak DAD and
+Prophet schemes) and prints the metrics the paper compares:
+configuration latency, configuration overhead, and departure overhead.
+
+Run:
+    python examples/protocol_comparison.py [num_nodes] [seed]
+"""
+
+import sys
+
+from repro import Scenario, run_scenario
+from repro.experiments import format_table
+from repro.experiments.runner import PROTOCOLS as _REGISTRY
+
+PROTOCOLS = sorted(_REGISTRY)
+
+
+def main() -> None:
+    num_nodes = int(sys.argv[1]) if len(sys.argv) > 1 else 80
+    seed = int(sys.argv[2]) if len(sys.argv) > 2 else 1
+
+    scenario = Scenario.paper_default(
+        num_nodes=num_nodes, seed=seed,
+        depart_fraction=0.3, abrupt_probability=0.2,
+        settle_time=30.0,
+    )
+
+    rows = []
+    for protocol in PROTOCOLS:
+        print(f"running {protocol} ...")
+        result = run_scenario(scenario, protocol=protocol)
+        rows.append([
+            protocol,
+            f"{100 * result.configuration_success_rate():.0f} %",
+            round(result.avg_config_latency_hops(), 1),
+            round(result.config_overhead_per_node(), 1),
+            round(result.departure_overhead_per_departure(), 1),
+            round(result.reclamation_overhead(), 1),
+        ])
+
+    print()
+    print(f"=== {num_nodes} nodes, 1 km^2, tr=150 m, 20 m/s, "
+          f"30 % departures (20 % abrupt) ===")
+    print(format_table(
+        ["protocol", "configured", "latency (hops)",
+         "config hops/node", "departure hops", "reclamation hops"],
+        rows,
+    ))
+    print()
+    print("Expected shape (paper, Section VI): the quorum protocol")
+    print("configures in fewer hops than MANETconf, with far less")
+    print("overhead than the buddy scheme's periodic synchronization;")
+    print("buddy/ctree assign locally (1-2 hops) but pay elsewhere.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""Address representation.
+
+Addresses are plain integers (offsets into the network's address space)
+for speed; these helpers render them as dotted quads under a base prefix
+for human-readable traces and logs.
+"""
+
+from __future__ import annotations
+
+DEFAULT_BASE = (10 << 24)  # 10.0.0.0
+
+
+def format_ip(address: int, base: int = DEFAULT_BASE) -> str:
+    """Render an integer address as a dotted quad under ``base``.
+
+    >>> format_ip(1)
+    '10.0.0.1'
+    >>> format_ip(256)
+    '10.0.1.0'
+    """
+    if address < 0:
+        raise ValueError("address must be non-negative")
+    value = base + address
+    return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+def parse_ip(text: str, base: int = DEFAULT_BASE) -> int:
+    """Inverse of :func:`format_ip`.
+
+    >>> parse_ip('10.0.1.0')
+    256
+    """
+    parts = text.split(".")
+    if len(parts) != 4:
+        raise ValueError(f"malformed dotted quad: {text!r}")
+    value = 0
+    for part in parts:
+        octet = int(part)
+        if not 0 <= octet <= 255:
+            raise ValueError(f"octet out of range in {text!r}")
+        value = (value << 8) | octet
+    offset = value - base
+    if offset < 0:
+        raise ValueError(f"{text!r} is below the base prefix")
+    return offset

@@ -1,0 +1,173 @@
+"""Command-line interface.
+
+Four subcommands::
+
+    python -m repro run      --protocol quorum --nodes 100 --seed 1
+    python -m repro compare  --nodes 80 --seed 1
+    python -m repro figure   fig05            # any figNN or table1
+    python -m repro layout   --nodes 100      # Fig. 4-style ASCII map
+
+``run`` prints the quickstart-style report for one protocol; ``compare``
+tabulates all protocols on the same workload; ``figure`` regenerates a
+paper figure's series; ``layout`` draws the clustered network.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments import (
+    Scenario,
+    figures,
+    format_series,
+    format_table,
+    run_scenario,
+)
+from repro.experiments.report import format_layout
+from repro.experiments.runner import PROTOCOLS
+
+FIGURES = {
+    "fig05": figures.fig05_latency_vs_size,
+    "fig06": figures.fig06_latency_vs_range,
+    "fig07": figures.fig07_latency_grid,
+    "fig08": figures.fig08_config_overhead,
+    "fig09": figures.fig09_departure_overhead,
+    "fig10": figures.fig10_maintenance_overhead,
+    "fig11": figures.fig11_movement_vs_speed,
+    "fig12": figures.fig12_ip_space_extension,
+    "fig13": figures.fig13_information_loss,
+    "fig14": figures.fig14_reclamation_overhead,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Quorum-based IP autoconfiguration in MANETs "
+                    "(Xu & Wu, ICDCS 2007) — reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_scenario_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--nodes", type=int, default=100,
+                       help="network size (paper sweeps 50-200)")
+        p.add_argument("--seed", type=int, default=1)
+        p.add_argument("--tr", type=float, default=150.0,
+                       help="transmission range in meters")
+        p.add_argument("--speed", type=float, default=20.0,
+                       help="node speed in m/s after configuration")
+        p.add_argument("--depart", type=float, default=0.0,
+                       help="fraction of nodes that depart")
+        p.add_argument("--abrupt", type=float, default=0.0,
+                       help="probability a departure is abrupt")
+        p.add_argument("--settle", type=float, default=30.0,
+                       help="extra simulated seconds after the last event")
+
+    run_p = sub.add_parser("run", help="run one protocol, print a report")
+    add_scenario_args(run_p)
+    run_p.add_argument("--protocol", choices=sorted(PROTOCOLS),
+                       default="quorum")
+
+    cmp_p = sub.add_parser("compare", help="all protocols, one table")
+    add_scenario_args(cmp_p)
+
+    fig_p = sub.add_parser("figure", help="regenerate a paper figure")
+    fig_p.add_argument("name", choices=sorted(FIGURES) + ["table1", "fig04"])
+    fig_p.add_argument("--seeds", type=int, nargs="+", default=[1])
+
+    lay_p = sub.add_parser("layout", help="draw a Fig. 4-style layout")
+    lay_p.add_argument("--nodes", type=int, default=100)
+    lay_p.add_argument("--seed", type=int, default=1)
+    lay_p.add_argument("--tr", type=float, default=150.0)
+    return parser
+
+
+def scenario_from(args: argparse.Namespace) -> Scenario:
+    return Scenario.paper_default(
+        num_nodes=args.nodes, seed=args.seed,
+        transmission_range=args.tr, speed_mps=args.speed,
+        depart_fraction=args.depart, abrupt_probability=args.abrupt,
+        settle_time=args.settle,
+    )
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    result = run_scenario(scenario_from(args), protocol=args.protocol)
+    rows = [
+        ["configured",
+         f"{result.configured_count()}/{args.nodes} "
+         f"({100 * result.configuration_success_rate():.0f} %)"],
+        ["latency (hops)", round(result.avg_config_latency_hops(), 2)],
+        ["latency (s)", round(result.avg_config_latency_time(), 2)],
+        ["unique addresses", result.uniqueness_ok()],
+        ["cluster heads", result.head_count],
+        ["avg |QDSet|", round(result.avg_qdset_size(), 1)],
+        ["IP space extension", f"{result.avg_extension_ratio():.1f}x"],
+        ["graceful departures", result.graceful_departures],
+        ["abrupt departures", result.abrupt_departures],
+        ["info loss", f"{result.information_loss_pct():.1f} %"],
+    ]
+    rows += [[f"hops: {k}", v] for k, v in sorted(result.stats_hops.items())
+             if v]
+    print(f"protocol: {args.protocol}  nodes: {args.nodes}  "
+          f"seed: {args.seed}")
+    print(format_table(["metric", "value"], rows))
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    scenario = scenario_from(args)
+    rows = []
+    for protocol in sorted(PROTOCOLS):
+        result = run_scenario(scenario, protocol=protocol)
+        rows.append([
+            protocol,
+            f"{100 * result.configuration_success_rate():.0f} %",
+            round(result.avg_config_latency_hops(), 1),
+            round(result.config_overhead_per_node(), 1),
+            round(result.departure_overhead_per_departure(), 1),
+        ])
+    print(format_table(
+        ["protocol", "configured", "latency (hops)",
+         "config hops/node", "departure hops"], rows))
+    return 0
+
+
+def cmd_figure(args: argparse.Namespace) -> int:
+    if args.name == "table1":
+        outcome = figures.table1_message_exchange()
+        print(outcome["title"])
+        print(f"expected: {' -> '.join(outcome['expected'])}")
+        print(f"observed: {' -> '.join(outcome['observed'])}")
+        return 0 if outcome["observed"] == outcome["expected"] else 1
+    if args.name == "fig04":
+        print(format_layout(figures.fig04_layout()))
+        return 0
+    result = FIGURES[args.name](seeds=tuple(args.seeds))
+    print(format_series(result))
+    return 0
+
+
+def cmd_layout(args: argparse.Namespace) -> int:
+    layout = figures.fig04_layout(
+        num_nodes=args.nodes, seed=args.seed,
+        transmission_range=args.tr)
+    print(format_layout(layout))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "run": cmd_run,
+        "compare": cmd_compare,
+        "figure": cmd_figure,
+        "layout": cmd_layout,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,13 @@
+"""Clustering layer.
+
+The paper's clusters form dynamically as nodes arrive (Section II-B):
+an entering node that hears a cluster head within two hops joins as a
+common node; otherwise it declares itself a new cluster head.  Cluster
+heads are therefore never neighbors.  Each cluster head tracks its
+adjacent cluster heads (within three hops) in its QDSet.
+"""
+
+from repro.cluster.roles import Role, decide_role
+from repro.cluster.qdset import QDSet
+
+__all__ = ["Role", "decide_role", "QDSet"]

@@ -1,0 +1,25 @@
+"""The quorum-based IP autoconfiguration protocol (the paper's core).
+
+Public entry point: :class:`~repro.core.protocol.QuorumProtocolAgent`,
+one per node, driven by the shared
+:class:`~repro.net.context.NetworkContext`.  The agent implements the
+full protocol of Sections IV and V:
+
+* network initialization and the first cluster head (``T_e``/``Max_r``);
+* common-node configuration via quorum voting (COM_REQ ... COM_ACK);
+* cluster-head configuration with IPSpace halving (Table 1's
+  CH_REQ/CH_PRP/CH_CNF/QUORUM_CLT/QUORUM_CFM/CH_CFG/CH_ACK exchange);
+* replica distribution and QDSet maintenance;
+* location update — periodic and upon-leave variants (Section IV-C);
+* graceful departure for common nodes and cluster heads;
+* address reclamation (ADDR_REC / REC_REP, Section IV-D);
+* address borrowing from QuorumSpace (Section V-A);
+* quorum adjustment with timers ``T_d`` and ``T_r`` (Section V-B);
+* network partition and merge handling via network IDs (Section V-C).
+"""
+
+from repro.core.config import ProtocolConfig
+from repro.core.protocol import QuorumProtocolAgent
+from repro.core.state import CommonState, HeadState
+
+__all__ = ["ProtocolConfig", "QuorumProtocolAgent", "CommonState", "HeadState"]

@@ -1,0 +1,79 @@
+"""Allocator-side configuration attempts.
+
+A :class:`PendingConfig` tracks one in-flight configuration: the
+requester, the proposed address (or block for cluster-head grants), the
+vote collector over the QDSet universe, and the accumulated critical-path
+hop count that becomes the paper's configuration-latency metric.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from typing import Dict, Optional
+
+from repro.addrspace.block import Block
+from repro.addrspace.records import AddressRecord
+from repro.quorum.voting import VoteCollector
+
+_attempt_ids = itertools.count(1)
+
+
+@dataclasses.dataclass
+class PendingConfig:
+    """One configuration attempt in progress at an allocator.
+
+    Attributes:
+        attempt_id: unique token matching replies to attempts.
+        requester: node id being configured.
+        kind: ``"common"`` (single address) or ``"head"`` (block grant).
+        address: proposed address (common) or the block's first address.
+        block: proposed block for head grants, ``None`` for common.
+        owner_id: node id whose IPSpace the address belongs to (self for
+            normal allocation, another head when borrowing).
+        collector: quorum vote collector; ``None`` before voting starts.
+        latency_hops: critical-path hops accumulated so far (request leg
+            plus any proposal legs); the quorum round trip and the final
+            grant leg are added as they happen.
+        vote_sent: hops to each voter, for the round-trip term.
+        address_retries: how many candidate addresses were tried.
+        relay_of: if this attempt was relayed from another head acting
+            as agent (Section V-A), the relaying head's node id.
+    """
+
+    requester: int
+    kind: str
+    address: int
+    owner_id: int
+    block: Optional[Block] = None
+    collector: Optional[VoteCollector] = None
+    latency_hops: int = 0
+    vote_sent: Dict[int, int] = dataclasses.field(default_factory=dict)
+    address_retries: int = 0
+    relay_of: Optional[int] = None
+    committed: bool = False
+    cfg_delivered: bool = False   # the grant message reached the requester
+    cleanup_checks: int = 0       # deferred-rollback probe count
+    attempt_id: int = dataclasses.field(default_factory=lambda: next(_attempt_ids))
+
+    def quorum_round_trip(self) -> int:
+        """2 x the farthest responding voter (self-votes are 0 hops)."""
+        if self.collector is None:
+            return 0
+        distances = [
+            self.vote_sent.get(voter, 0) for voter in self.collector.responders
+        ]
+        return 2 * max(distances) if distances else 0
+
+
+@dataclasses.dataclass
+class BlockVote:
+    """A QDSet member's verdict on a whole proposed block.
+
+    Summarized as a synthetic :class:`AddressRecord`: the maximum
+    timestamp across the block and ASSIGNED if any address in the block
+    is believed assigned.
+    """
+
+    voter: int
+    record: AddressRecord

@@ -1,0 +1,79 @@
+"""Message vocabulary of the quorum-based protocol.
+
+Names are taken from the paper's Sections IV-V and Table 1.  Each
+constant is a message type string carried in
+:class:`repro.net.message.Message.mtype`.
+"""
+
+from __future__ import annotations
+
+# --- Network initialization (Section IV-B) ---------------------------------
+INIT_REQ = "INIT_REQ"            # first-node broadcast looking for any network
+INIT_DEFER = "INIT_DEFER"        # earlier-entered unconfigured node: back off
+
+# --- Common-node configuration (Fig. 2) ------------------------------------
+COM_REQ = "COM_REQ"              # requestor -> allocator: want one address
+COM_CFG = "COM_CFG"              # allocator -> requestor: here is your address
+COM_ACK = "COM_ACK"              # requestor -> allocator: configured
+COM_NACK = "COM_NACK"            # allocator -> requestor: cannot configure
+COM_DECLINE = "COM_DECLINE"      # requestor -> allocator: already configured
+
+# --- Cluster-head configuration (Table 1 / Fig. 3) -------------------------
+CH_REQ = "CH_REQ"                # requestor -> nearest head: want a block
+CH_PRP = "CH_PRP"                # allocator -> requestor: proposed block
+CH_CNF = "CH_CNF"                # requestor -> allocator: accept proposal
+CH_CFG = "CH_CFG"                # allocator -> requestor: block granted
+CH_ACK = "CH_ACK"                # requestor -> allocator: head configured
+CH_NACK = "CH_NACK"              # allocator -> requestor: cannot grant
+CH_DECLINE = "CH_DECLINE"        # requestor -> allocator: already configured
+
+# --- Quorum voting (Sections II-C, IV-B) ------------------------------------
+QUORUM_CLT = "QUORUM_CLT"        # allocator -> QDSet: vote on address/block
+QUORUM_CFM = "QUORUM_CFM"        # QDSet member -> allocator: vote
+QUORUM_UPD = "QUORUM_UPD"        # allocator -> QDSet: commit the update
+
+# --- Replica distribution / QDSet maintenance -------------------------------
+REPLICA_DIST = "REPLICA_DIST"    # new head -> QDSet: install my replica
+REPLICA_ACK = "REPLICA_ACK"      # member -> new head: here is mine in return
+
+# --- Location update and departure (Section IV-C) ---------------------------
+UPDATE_LOC = "UPDATE_LOC"        # common node -> nearest head: (configurer, IP)
+RETURN_ADDR = "RETURN_ADDR"      # departing node -> nearest head
+RETURN_ACK = "RETURN_ACK"        # head -> departing node: safe to leave
+RETURN_FWD = "RETURN_FWD"        # head -> allocator/QDSet member: routed return
+CH_RETURN = "CH_RETURN"          # departing head -> configurer/S: my IP block
+CH_RETURN_ACK = "CH_RETURN_ACK"  # receiver -> departing head
+RESIGN = "RESIGN"                # departing head -> QDSet: remove me
+ALLOC_CHANGE = "ALLOC_CHANGE"    # new owner -> configured nodes: allocator moved
+
+# --- Address reclamation (Section IV-D) -------------------------------------
+ADDR_REC = "ADDR_REC"            # detector: scoped broadcast naming dead head
+REC_REP = "REC_REP"              # surviving member -> closest head: I exist
+REC_FWD = "REC_FWD"              # head -> replica holder: forwarded REC_REP
+REC_HOLDER = "REC_HOLDER"        # replica holder -> initiator: I hold a copy
+REC_DELEGATE = "REC_DELEGATE"    # initiator -> lowest-id holder: you absorb
+REC_AUDIT = "REC_AUDIT"          # dry allocator: who holds my addresses?
+REC_CLAIMED = "REC_CLAIMED"      # holder -> auditing allocator: I hold X
+REC_SYNC = "REC_SYNC"            # absorber -> holders: send your replica
+REC_SYNC_ACK = "REC_SYNC_ACK"    # holder -> absorber: replica snapshot
+
+# --- Quorum adjustment (Section V-B) ----------------------------------------
+REP_REQ = "REP_REQ"              # head -> suspected member: are you alive?
+REP_ACK = "REP_ACK"              # member -> head: alive
+
+# --- Partition and merge (Section V-C) --------------------------------------
+MERGE_JOIN = "MERGE_JOIN"        # node from larger-ID network rejoining
+
+ALL_TYPES = [
+    INIT_REQ, INIT_DEFER,
+    COM_REQ, COM_CFG, COM_ACK, COM_NACK, COM_DECLINE,
+    CH_REQ, CH_PRP, CH_CNF, CH_CFG, CH_ACK, CH_NACK, CH_DECLINE,
+    QUORUM_CLT, QUORUM_CFM, QUORUM_UPD,
+    REPLICA_DIST, REPLICA_ACK,
+    UPDATE_LOC, RETURN_ADDR, RETURN_ACK, RETURN_FWD,
+    CH_RETURN, CH_RETURN_ACK, RESIGN, ALLOC_CHANGE,
+    ADDR_REC, REC_REP, REC_FWD, REC_HOLDER, REC_DELEGATE,
+    REC_AUDIT, REC_CLAIMED, REC_SYNC, REC_SYNC_ACK,
+    REP_REQ, REP_ACK,
+    MERGE_JOIN,
+]

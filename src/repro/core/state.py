@@ -1,0 +1,83 @@
+"""Per-node protocol state (Section IV-A data structures)."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional
+
+from repro.addrspace.block import Block
+from repro.addrspace.pool import AddressPool
+from repro.addrspace.records import AddressLedger
+from repro.cluster.qdset import QDSet
+from repro.quorum.replica import ReplicaStore
+
+
+@dataclasses.dataclass
+class CommonState:
+    """State of a configured common node.
+
+    Attributes:
+        ip: the node's configured address.
+        configurer_id / configurer_ip: the cluster head that configured
+            this node; addresses are returned to it on departure.
+        administrator_id: the cluster head currently administering this
+            node after it moved more than three hops from its configurer
+            (Section IV-C-1); ``None`` while still near the configurer.
+    """
+
+    ip: int
+    configurer_id: int
+    configurer_ip: int
+    administrator_id: Optional[int] = None
+
+
+class HeadState:
+    """State of a cluster head.
+
+    * ``pool`` — the head's IPSpace (free blocks + addresses handed out);
+    * ``ledger`` — the authoritative timestamped records for every
+      address in the IPSpace;
+    * ``qdset`` — adjacent cluster heads within three hops;
+    * ``replicas`` — the QuorumSpace: copies of QDSet members' spaces;
+    * ``configured`` — members this head configured (ip -> node id),
+      used for allocator-change notifications and reclamation replies.
+    """
+
+    def __init__(self, ip: int, blocks: List[Block],
+                 configurer_id: Optional[int], configurer_ip: Optional[int]) -> None:
+        self.ip = ip
+        self.pool = AddressPool(blocks)
+        self.ledger = AddressLedger()
+        self.qdset = QDSet()
+        self.replicas = ReplicaStore()
+        self.configured: Dict[int, int] = {}
+        # Nodes administered after migrating away from their configurer
+        # (Section IV-C-1): ip -> (node_id, configurer_ip).
+        self.administered: Dict[int, tuple] = {}
+        self.configurer_id = configurer_id
+        self.configurer_ip = configurer_ip
+        # Monotone snapshot version stamped on every replica snapshot
+        # this head distributes (see repro.quorum.replica.Replica).
+        self.snapshot_version = 0
+
+    # ------------------------------------------------------------------
+    def owns(self, address: int) -> bool:
+        """Is ``address`` part of this head's IPSpace?"""
+        return self.pool.owns(address)
+
+    def own_blocks(self) -> List[Block]:
+        """Free blocks plus a summary view of the IPSpace extent."""
+        return self.pool.free_blocks()
+
+    def ip_space_size(self) -> int:
+        return self.pool.total_count()
+
+    def quorum_space_size(self) -> int:
+        return self.replicas.total_size()
+
+    def extension_ratio(self) -> float:
+        """(IPSpace + QuorumSpace) / IPSpace — the Fig. 12 metric."""
+        own = self.ip_space_size()
+        if own == 0:
+            return 1.0
+        return (own + self.quorum_space_size()) / own

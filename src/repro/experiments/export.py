@@ -1,0 +1,62 @@
+"""Export experiment results to CSV and JSON.
+
+The benchmarks print series as text; these helpers persist them as
+machine-readable artifacts so downstream tooling (plotting scripts,
+regression dashboards) can consume reproduced figures directly::
+
+    result = figures.fig05_latency_vs_size()
+    write_series_csv(result, "fig05.csv")
+    write_series_json(result, "fig05.json")
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+PathLike = Union[str, Path]
+
+
+def write_series_csv(result: Dict[str, Any], path: PathLike) -> Path:
+    """Write a figure result's series as one CSV row per x value."""
+    path = Path(path)
+    stds = result.get("series_std", {})
+    labels = list(result["series"].keys())
+    headers = [result["xlabel"]] + labels
+    if stds:
+        headers += [f"{label} (std)" for label in labels]
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(headers)
+        for i, x in enumerate(result["x"]):
+            row = [x] + [result["series"][label][i] for label in labels]
+            if stds:
+                row += [stds.get(label, [0.0] * len(result["x"]))[i]
+                        for label in labels]
+            writer.writerow(row)
+    return path
+
+
+def write_series_json(result: Dict[str, Any], path: PathLike) -> Path:
+    """Write the full figure result (title, axes, series) as JSON."""
+    path = Path(path)
+    payload = {
+        "title": result.get("title", ""),
+        "xlabel": result.get("xlabel", ""),
+        "ylabel": result.get("ylabel", ""),
+        "x": list(result["x"]),
+        "series": {k: list(v) for k, v in result["series"].items()},
+    }
+    if "series_std" in result:
+        payload["series_std"] = {
+            k: list(v) for k, v in result["series_std"].items()
+        }
+    path.write_text(json.dumps(payload, indent=2))
+    return path
+
+
+def read_series_json(path: PathLike) -> Dict[str, Any]:
+    """Inverse of :func:`write_series_json`."""
+    return json.loads(Path(path).read_text())

@@ -1,0 +1,85 @@
+"""Plain-text rendering of experiment results.
+
+The benches print the same rows/series the paper plots; these helpers
+format them as aligned ASCII tables.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    """Render rows as an aligned, pipe-separated table."""
+    def render(value: Any) -> str:
+        if isinstance(value, float):
+            return f"{value:.2f}"
+        return str(value)
+
+    cells = [[render(v) for v in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in cells)) if cells
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = [
+        " | ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "-+-".join("-" * w for w in widths),
+    ]
+    for row in cells:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_layout(layout: Dict[str, Any], columns: int = 50,
+                  rows: int = 25) -> str:
+    """ASCII-render a Fig. 4-style network layout.
+
+    Expects the dict produced by
+    :func:`repro.experiments.figures.fig04_layout`.
+    """
+    width, height = layout["area"]
+    grid = [["." for _ in range(columns)] for _ in range(rows)]
+    for node in layout["nodes"]:
+        col = min(columns - 1, int(node["x"] / width * columns))
+        row = min(rows - 1, int(node["y"] / height * rows))
+        mark = "H" if node["role"] == "head" else "o"
+        if grid[row][col] != "H":  # heads win the cell
+            grid[row][col] = mark
+    lines = [
+        layout.get("title", "network layout"),
+        (f"nodes={len(layout['nodes'])} heads={layout['head_count']} "
+         f"configured={layout['configured']} "
+         f"tr={layout['transmission_range']:.0f} m"),
+        "",
+    ]
+    lines += ["".join(row) for row in grid]
+    lines.append("(H = cluster head, o = common node)")
+    return "\n".join(lines)
+
+
+def format_series(result: Dict[str, Any]) -> str:
+    """Render a figure-experiment result (x values + named series).
+
+    Expects the shape produced by :mod:`repro.experiments.figures`:
+    ``{"title", "xlabel", "ylabel", "x": [...], "series": {label: [...]}}``,
+    optionally with ``series_std`` holding per-point sample deviations
+    (rendered as ``mean ±std`` when non-zero).
+    """
+    stds = result.get("series_std", {})
+    headers = [result["xlabel"]] + list(result["series"].keys())
+    rows: List[List[Any]] = []
+    for i, x in enumerate(result["x"]):
+        row: List[Any] = [x]
+        for label, values in result["series"].items():
+            std = stds.get(label, [0.0] * len(values))[i] if stds else 0.0
+            if std:
+                row.append(f"{values[i]:.2f} ±{std:.2f}")
+            else:
+                row.append(values[i])
+        rows.append(row)
+    body = format_table(headers, rows)
+    title = result.get("title", "")
+    ylabel = result.get("ylabel", "")
+    header = f"{title}\n(y: {ylabel})\n" if title else ""
+    return header + body

@@ -1,0 +1,11 @@
+"""2-D geometry primitives for the simulation area.
+
+The paper simulates a 1 km x 1 km square region; this package provides
+the point arithmetic, distance computation and uniform random placement
+used by the mobility models and the radio substrate.
+"""
+
+from repro.geometry.vec import Point, distance, lerp
+from repro.geometry.region import Region
+
+__all__ = ["Point", "distance", "lerp", "Region"]

@@ -1,0 +1,53 @@
+"""Rectangular simulation regions."""
+
+from __future__ import annotations
+
+import random
+
+from repro.geometry.vec import Point
+
+
+class Region:
+    """An axis-aligned rectangle ``[0, width] x [0, height]`` in meters.
+
+    The paper's simulation area is ``Region(1000, 1000)``.
+    """
+
+    def __init__(self, width: float, height: float) -> None:
+        if width <= 0 or height <= 0:
+            raise ValueError("region dimensions must be positive")
+        self.width = width
+        self.height = height
+
+    def contains(self, point: Point) -> bool:
+        return 0 <= point.x <= self.width and 0 <= point.y <= self.height
+
+    def clamp(self, point: Point) -> Point:
+        """Project a point onto the region."""
+        return Point(
+            min(max(point.x, 0.0), self.width),
+            min(max(point.y, 0.0), self.height),
+        )
+
+    def random_point(self, rng: random.Random) -> Point:
+        """A uniformly random point inside the region."""
+        return Point(rng.uniform(0, self.width), rng.uniform(0, self.height))
+
+    def random_point_near(self, center: Point, radius: float,
+                          rng: random.Random) -> Point:
+        """A random point within ``radius`` of ``center``, clamped inside.
+
+        Used to model correlated arrivals ("most nodes enter the network
+        at the same spot", Section I) in hot-spot scenarios.
+        """
+        for _ in range(64):
+            candidate = Point(
+                center.x + rng.uniform(-radius, radius),
+                center.y + rng.uniform(-radius, radius),
+            )
+            if self.contains(candidate):
+                return candidate
+        return self.clamp(center)
+
+    def __repr__(self) -> str:
+        return f"Region({self.width}x{self.height})"

@@ -1,0 +1,22 @@
+"""Node mobility models and scenario schedules.
+
+The paper's nodes "move to a random destination at the speed of 20 m/s
+after configuration" (Section VI-A) — the classic random-waypoint model.
+Positions are analytic functions of time (per-leg linear interpolation),
+so the radio substrate can query exact positions at any instant without
+per-tick integration.
+"""
+
+from repro.mobility.base import MobilityModel, Stationary
+from repro.mobility.waypoint import RandomWaypoint
+from repro.mobility.schedule import ArrivalPlan, DeparturePlan, NodePlan, build_plans
+
+__all__ = [
+    "MobilityModel",
+    "Stationary",
+    "RandomWaypoint",
+    "ArrivalPlan",
+    "DeparturePlan",
+    "NodePlan",
+    "build_plans",
+]

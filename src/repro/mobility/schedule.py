@@ -1,0 +1,102 @@
+"""Arrival/departure schedule generation for scenarios.
+
+The paper's workload (Section VI-A): nodes arrive *sequentially*, move at
+a fixed speed after configuration, and are "randomly chosen to depart
+gracefully or abruptly", with the abrupt probability swept between 5 %
+and 50 %.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import List, Optional
+
+from repro.geometry import Point, Region
+
+
+@dataclasses.dataclass(frozen=True)
+class ArrivalPlan:
+    """When and where a node enters the network."""
+
+    node_id: int
+    time: float
+    position: Point
+
+
+@dataclasses.dataclass(frozen=True)
+class DeparturePlan:
+    """When a node leaves, and whether it announces its departure."""
+
+    node_id: int
+    time: float
+    abrupt: bool
+
+
+@dataclasses.dataclass(frozen=True)
+class NodePlan:
+    """The full life plan of one node."""
+
+    arrival: ArrivalPlan
+    departure: Optional[DeparturePlan]
+
+
+def build_plans(
+    num_nodes: int,
+    region: Region,
+    rng: random.Random,
+    inter_arrival: float = 1.0,
+    depart_fraction: float = 0.0,
+    abrupt_probability: float = 0.0,
+    depart_after: float = 0.0,
+    depart_window: float = 100.0,
+    hotspot: Optional[Point] = None,
+    hotspot_radius: float = 100.0,
+) -> List[NodePlan]:
+    """Generate per-node life plans matching the paper's workload.
+
+    Args:
+        num_nodes: network size (paper sweeps 50-200).
+        region: the simulation area (paper: 1 km x 1 km).
+        rng: random stream ("scenario" stream of the run).
+        inter_arrival: mean spacing of the sequential arrivals, seconds.
+        depart_fraction: fraction of nodes that eventually depart.
+        abrupt_probability: probability a departing node leaves abruptly
+            (paper sweeps 5 %-50 %).
+        depart_after: earliest departure time, measured from the last
+            arrival.
+        depart_window: departures are spread uniformly over this window.
+        hotspot: if given, all arrivals are placed within
+            ``hotspot_radius`` of this point (the paper's "same spot"
+            stress for address borrowing); otherwise placement is uniform.
+    """
+    if not 0 <= depart_fraction <= 1:
+        raise ValueError("depart_fraction must be in [0, 1]")
+    if not 0 <= abrupt_probability <= 1:
+        raise ValueError("abrupt_probability must be in [0, 1]")
+
+    plans: List[NodePlan] = []
+    time = 0.0
+    for node_id in range(num_nodes):
+        time += rng.uniform(0.5 * inter_arrival, 1.5 * inter_arrival)
+        if hotspot is not None:
+            position = region.random_point_near(hotspot, hotspot_radius, rng)
+        else:
+            position = region.random_point(rng)
+        plans.append(
+            NodePlan(ArrivalPlan(node_id, time, position), departure=None)
+        )
+
+    last_arrival = plans[-1].arrival.time if plans else 0.0
+    if depart_fraction > 0:
+        departing = rng.sample(range(num_nodes), int(round(depart_fraction * num_nodes)))
+        for node_id in departing:
+            depart_time = (
+                last_arrival + depart_after + rng.uniform(0, depart_window)
+            )
+            abrupt = rng.random() < abrupt_probability
+            plans[node_id] = NodePlan(
+                plans[node_id].arrival,
+                DeparturePlan(node_id, depart_time, abrupt),
+            )
+    return plans

@@ -1,0 +1,106 @@
+"""The per-run network context shared by all protocol agents.
+
+Bundles the simulator, topology, transport, hello service and message
+accounting, plus two idealized registries every autoconfiguration
+protocol needs from its routing substrate:
+
+* ``ip_registry`` — IP -> node id resolution (the ARP/routing analogue);
+* the agent table — node id -> protocol agent, used by the substrate to
+  deliver messages and by hello queries to ask "is this node a cluster
+  head?".
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.net.hello import HelloService
+from repro.net.node import Node
+from repro.net.stats import MessageStats
+from repro.net.topology import Topology
+from repro.net.transport import Transport
+from repro.sim.engine import Simulator
+
+
+class NetworkContext:
+    """Everything a protocol agent needs to talk to the world."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: Topology,
+        transport: Transport,
+        hello: HelloService,
+        stats: MessageStats,
+    ) -> None:
+        self.sim = sim
+        self.topology = topology
+        self.transport = transport
+        self.hello = hello
+        self.stats = stats
+        self.agents: Dict[int, Any] = {}
+        self.ip_registry: Dict[int, int] = {}  # ip -> node_id
+
+    # ------------------------------------------------------------------
+    # Agent registry
+    # ------------------------------------------------------------------
+    def register(self, agent: Any) -> None:
+        self.agents[agent.node.node_id] = agent
+
+    def unregister(self, node_id: int) -> None:
+        self.agents.pop(node_id, None)
+
+    def agent_of(self, node_id: int) -> Optional[Any]:
+        return self.agents.get(node_id)
+
+    def node_of(self, node_id: int) -> Optional[Node]:
+        return self.topology.get(node_id)
+
+    # ------------------------------------------------------------------
+    # IP resolution
+    # ------------------------------------------------------------------
+    def bind_ip(self, ip: int, node_id: int) -> None:
+        self.ip_registry[ip] = node_id
+
+    def unbind_ip(self, ip: int) -> None:
+        self.ip_registry.pop(ip, None)
+
+    def resolve_ip(self, ip: int) -> Optional[int]:
+        return self.ip_registry.get(ip)
+
+    # ------------------------------------------------------------------
+    # Role queries (used by hello-derived knowledge)
+    # ------------------------------------------------------------------
+    def is_head(self, node_id: int) -> bool:
+        agent = self.agents.get(node_id)
+        node = self.topology.get(node_id)
+        if agent is None or node is None or not node.alive:
+            return False
+        return bool(getattr(agent, "is_allocator", lambda: False)())
+
+    def is_configured(self, node_id: int) -> bool:
+        agent = self.agents.get(node_id)
+        node = self.topology.get(node_id)
+        if agent is None or node is None or not node.alive:
+            return False
+        return bool(getattr(agent, "is_configured", lambda: False)())
+
+    @classmethod
+    def build(
+        cls,
+        seed: int = 0,
+        transmission_range: float = 150.0,
+        hello_interval: float = 1.0,
+        per_hop_delay: float = 0.01,
+        count_hello_cost: bool = False,
+    ) -> "NetworkContext":
+        """Construct a fully wired context with fresh components."""
+        sim = Simulator(seed=seed)
+        stats = MessageStats()
+        topology = Topology(sim, transmission_range)
+        transport = Transport(sim, topology, stats, per_hop_delay)
+        hello = HelloService(
+            sim, topology, stats, interval=hello_interval,
+            count_cost=count_hello_cost,
+        )
+        return cls(sim, topology, transport, hello, stats)

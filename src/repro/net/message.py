@@ -1,0 +1,56 @@
+"""Protocol messages.
+
+Messages are small typed envelopes.  The substrate routes by *node*
+identity (the hardware ID); IP addresses appear only inside payloads,
+mirroring how an autoconfiguration protocol must bootstrap before IPs
+exist.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from typing import Any, Dict, Optional
+
+_message_ids = itertools.count()
+
+
+@dataclasses.dataclass
+class Message:
+    """A protocol message.
+
+    Attributes:
+        mtype: message type name (e.g. ``"COM_REQ"``, ``"QUORUM_CLT"``).
+        src: sender node id.
+        dst: destination node id (``None`` for broadcast/flood payloads).
+        payload: protocol-specific fields.
+        network_id: the sender's partition identifier, carried on every
+            message so receivers can detect partitions/merges (Section
+            V-C).
+        hops: route length travelled, filled in on delivery.
+        sent_at: simulation time the message was sent.
+        msg_id: globally unique message number (debugging/tracing).
+    """
+
+    mtype: str
+    src: int
+    dst: Optional[int]
+    payload: Dict[str, Any] = dataclasses.field(default_factory=dict)
+    network_id: Optional[int] = None
+    hops: int = 0
+    sent_at: float = 0.0
+    msg_id: int = dataclasses.field(default_factory=lambda: next(_message_ids))
+
+    def reply(self, mtype: str, payload: Optional[Dict[str, Any]] = None,
+              network_id: Optional[int] = None) -> "Message":
+        """Build a reply addressed back to this message's sender."""
+        return Message(
+            mtype=mtype,
+            src=self.dst if self.dst is not None else -1,
+            dst=self.src,
+            payload=payload or {},
+            network_id=network_id,
+        )
+
+    def __repr__(self) -> str:
+        return f"Message({self.mtype}, {self.src}->{self.dst}, hops={self.hops})"

@@ -1,0 +1,65 @@
+"""Per-category message accounting.
+
+Every figure in the paper's evaluation is derived from hop counts of
+messages, bucketed by purpose: configuration traffic (Figs. 5-8),
+departure traffic (Fig. 9), movement/maintenance traffic (Figs. 10-11)
+and address-reclamation traffic (Fig. 14).  One transmission from a node
+to a one-hop neighbor costs one hop (Section VI-B).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import defaultdict
+from typing import Dict, Iterable, Tuple
+
+
+class Category(enum.Enum):
+    """Traffic classes matching the paper's overhead breakdown."""
+
+    CONFIG = "config"            # address configuration exchanges
+    DEPARTURE = "departure"      # graceful-leave address return
+    MOVEMENT = "movement"        # location updates (UPDATE_LOC)
+    MAINTENANCE = "maintenance"  # periodic sync / C-tree reports / replica upkeep
+    RECLAMATION = "reclamation"  # ADDR_REC / REC_REP and equivalents
+    PARTITION = "partition"      # partition & merge handling
+    HELLO = "hello"              # beaconing (common to all protocols)
+
+
+class MessageStats:
+    """Accumulates hop counts and message counts per category."""
+
+    def __init__(self) -> None:
+        self.hops: Dict[Category, int] = defaultdict(int)
+        self.messages: Dict[Category, int] = defaultdict(int)
+
+    def charge(self, category: Category, hop_count: int, messages: int = 1) -> None:
+        """Record ``messages`` transmissions totalling ``hop_count`` hops."""
+        if hop_count < 0:
+            raise ValueError("hop_count must be non-negative")
+        self.hops[category] += hop_count
+        self.messages[category] += messages
+
+    def total_hops(self, include: Iterable[Category] = None,
+                   exclude: Iterable[Category] = ()) -> int:
+        """Sum of hop counts over the selected categories.
+
+        HELLO traffic is typically excluded from comparisons: all the
+        protocols under study beacon identically, so the paper's figures
+        count only protocol-specific traffic.
+        """
+        excluded = set(exclude)
+        categories = list(include) if include is not None else [
+            c for c in Category if c not in excluded
+        ]
+        return sum(self.hops[c] for c in categories if c not in excluded)
+
+    def snapshot(self) -> Dict[str, Tuple[int, int]]:
+        """``{category: (hops, messages)}`` for reporting."""
+        return {c.value: (self.hops[c], self.messages[c]) for c in Category}
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{c.value}={self.hops[c]}" for c in Category if self.hops[c]
+        )
+        return f"MessageStats({parts})"

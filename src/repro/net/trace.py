@@ -1,0 +1,146 @@
+"""Structured message tracing.
+
+A :class:`MessageTrace` taps a :class:`~repro.net.transport.Transport`
+and records every delivered unicast and every flood as a typed event.
+Used by the Table 1 reproduction, the CLI's ``--trace`` mode, and tests
+that assert on protocol exchanges.
+
+The tap is explicit and reversible::
+
+    trace = MessageTrace()
+    trace.attach(ctx.transport)
+    ...run...
+    trace.detach()
+    for event in trace.unicasts():
+        print(event.mtype, event.src, event.dst)
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Iterator, List, Optional
+
+from repro.net.message import Message
+from repro.net.stats import Category
+from repro.net.transport import Transport
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceEvent:
+    """One transmitted message (unicast) or flood."""
+
+    time: float
+    kind: str                 # "unicast" | "flood" | "broadcast"
+    mtype: str
+    src: int
+    dst: Optional[int]        # None for floods/broadcasts
+    hops: int                 # route length (unicast) or cost (flood)
+    category: str
+    delivered: bool
+
+    def __str__(self) -> str:
+        target = self.dst if self.dst is not None else "*"
+        return (f"t={self.time:8.2f} {self.kind:<9} {self.mtype:<14} "
+                f"{self.src:>4} -> {target:>4} ({self.hops} hops, "
+                f"{self.category})")
+
+
+class MessageTrace:
+    """Records transport activity; optionally filtered by message type."""
+
+    def __init__(self, mtypes: Optional[List[str]] = None,
+                 limit: int = 100_000) -> None:
+        self.events: List[TraceEvent] = []
+        self._mtypes = set(mtypes) if mtypes else None
+        self._limit = limit
+        self._transport: Optional[Transport] = None
+        self._original_unicast: Optional[Callable] = None
+        self._original_flood: Optional[Callable] = None
+
+    # ------------------------------------------------------------------
+    def attach(self, transport: Transport) -> "MessageTrace":
+        if self._transport is not None:
+            raise RuntimeError("trace already attached")
+        self._transport = transport
+        self._original_unicast = transport.unicast
+        self._original_flood = transport.flood
+        trace = self
+
+        def traced_unicast(src, dst, msg: Message, category: Category):
+            delivery = trace._original_unicast(src, dst, msg, category)
+            trace._record(TraceEvent(
+                time=transport.sim.now, kind="unicast", mtype=msg.mtype,
+                src=src.node_id, dst=dst.node_id, hops=delivery.hops,
+                category=category.value, delivered=delivery.ok,
+            ))
+            return delivery
+
+        def traced_flood(src, msg: Message, category: Category,
+                         max_hops=None, accept=None):
+            result = trace._original_flood(
+                src, msg, category, max_hops=max_hops, accept=accept)
+            trace._record(TraceEvent(
+                time=transport.sim.now, kind="flood", mtype=msg.mtype,
+                src=src.node_id, dst=None, hops=result.cost_hops,
+                category=category.value, delivered=bool(result.receivers),
+            ))
+            return result
+
+        transport.unicast = traced_unicast  # type: ignore[method-assign]
+        transport.flood = traced_flood      # type: ignore[method-assign]
+        return self
+
+    def detach(self) -> None:
+        if self._transport is None:
+            return
+        self._transport.unicast = self._original_unicast  # type: ignore
+        self._transport.flood = self._original_flood      # type: ignore
+        self._transport = None
+
+    def __enter__(self) -> "MessageTrace":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.detach()
+
+    # ------------------------------------------------------------------
+    def _record(self, event: TraceEvent) -> None:
+        if self._mtypes is not None and event.mtype not in self._mtypes:
+            return
+        if len(self.events) < self._limit:
+            self.events.append(event)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def unicasts(self, mtype: Optional[str] = None,
+                 delivered_only: bool = True) -> Iterator[TraceEvent]:
+        for event in self.events:
+            if event.kind != "unicast":
+                continue
+            if delivered_only and not event.delivered:
+                continue
+            if mtype is not None and event.mtype != mtype:
+                continue
+            yield event
+
+    def floods(self) -> Iterator[TraceEvent]:
+        return (e for e in self.events if e.kind == "flood")
+
+    def message_types(self) -> List[str]:
+        """Distinct message types, in first-appearance order."""
+        seen: List[str] = []
+        for event in self.events:
+            if event.mtype not in seen:
+                seen.append(event.mtype)
+        return seen
+
+    def between(self, a: int, b: int) -> List[TraceEvent]:
+        """Delivered unicasts exchanged (either direction) by a and b."""
+        return [
+            e for e in self.unicasts()
+            if {e.src, e.dst} == {a, b}
+        ]
+
+    def __len__(self) -> int:
+        return len(self.events)

@@ -1,0 +1,178 @@
+"""Message delivery with hop-count accounting.
+
+Routing is idealized (shortest path over the momentary connectivity
+graph), exactly as the paper abstracts it: the metric of interest is hop
+counts, not routing-protocol behavior.  Delivery is reliable within
+transmission range (Section IV-B); a unicast to an unreachable node
+fails, which is how protocols detect partitions and departed peers.
+
+Cost model (Section VI-B):
+  * unicast over a k-hop route charges k hops;
+  * a flood charges one transmission per node that retransmits — the
+    source plus every receiver that forwards;
+  * a 1-hop broadcast charges 1.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, List, Optional, Tuple
+
+from repro.net.message import Message
+from repro.net.node import Node
+from repro.net.stats import Category, MessageStats
+from repro.net.topology import Topology
+from repro.sim.engine import Simulator
+
+
+@dataclasses.dataclass
+class Delivery:
+    """Outcome of a send operation."""
+
+    ok: bool
+    hops: int
+
+
+@dataclasses.dataclass
+class FloodResult:
+    """Outcome of a flood: who got it and what it cost."""
+
+    receivers: List[Tuple[int, int]]  # (node_id, hops)
+    cost_hops: int
+    eccentricity: int
+
+
+class Transport:
+    """Sends messages between nodes and charges their cost.
+
+    Args:
+        sim: simulation clock/scheduler.
+        topology: connectivity oracle.
+        stats: hop-count accounting sink.
+        per_hop_delay: simulated latency per hop, seconds.  The paper
+            reports latency *in hops*; the time delay only orders events.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: Topology,
+        stats: MessageStats,
+        per_hop_delay: float = 0.01,
+    ) -> None:
+        self.sim = sim
+        self.topology = topology
+        self.stats = stats
+        self.per_hop_delay = per_hop_delay
+
+    # ------------------------------------------------------------------
+    def _deliver(self, dst: Node, msg: Message) -> None:
+        if dst.alive and dst.agent is not None:
+            dst.agent.on_message(msg)
+
+    def unicast(
+        self,
+        src: Node,
+        dst: Node,
+        msg: Message,
+        category: Category,
+    ) -> Delivery:
+        """Send ``msg`` from ``src`` to ``dst`` along the shortest path.
+
+        Returns the route length taken (charged to ``category``), or a
+        failed delivery when no route exists — the sender's timeout
+        machinery is responsible for reacting.
+        """
+        if not src.alive:
+            return Delivery(False, 0)
+        msg.src = src.node_id
+        msg.dst = dst.node_id
+        msg.sent_at = self.sim.now
+        hops = self.topology.hops(src.node_id, dst.node_id)
+        if hops is None or not dst.alive:
+            return Delivery(False, 0)
+        msg.hops = hops
+        self.stats.charge(category, hops)
+        self.sim.schedule(hops * self.per_hop_delay, self._deliver, dst, msg)
+        return Delivery(True, hops)
+
+    def broadcast_1hop(
+        self,
+        src: Node,
+        msg: Message,
+        category: Category,
+    ) -> List[int]:
+        """Transmit once; all one-hop neighbors receive.  Cost: 1 hop."""
+        if not src.alive:
+            return []
+        msg.src = src.node_id
+        msg.dst = None
+        msg.sent_at = self.sim.now
+        msg.hops = 1
+        self.stats.charge(category, 1)
+        receivers = []
+        for nid in self.topology.neighbors(src.node_id):
+            node = self.topology.get(nid)
+            if node is not None and node.alive:
+                receivers.append(nid)
+                delivered = dataclasses.replace(node_msg(msg), hops=1)
+                self.sim.schedule(self.per_hop_delay, self._deliver, node, delivered)
+        return receivers
+
+    def flood(
+        self,
+        src: Node,
+        msg: Message,
+        category: Category,
+        max_hops: Optional[int] = None,
+        accept: Optional[Callable[[Node], bool]] = None,
+    ) -> FloodResult:
+        """Flood ``msg`` from ``src`` through the connected component.
+
+        Every node within ``max_hops`` (or the whole component) receives
+        a copy; the charged cost is one transmission per forwarding node.
+        ``accept`` filters which receivers get the message *delivered*
+        (e.g. only cluster heads process ADDR_REC), but forwarding — and
+        therefore cost — is unaffected by it.
+        """
+        if not src.alive:
+            return FloodResult([], 0, 0)
+        msg.src = src.node_id
+        msg.dst = None
+        msg.sent_at = self.sim.now
+        reachable = self.topology.reachable(src.node_id)
+        receivers: List[Tuple[int, int]] = []
+        forwarders = 1  # the source transmits once
+        eccentricity = 0
+        for nid, hops in reachable.items():
+            if nid == src.node_id or hops == 0:
+                continue
+            if max_hops is not None and hops > max_hops:
+                continue
+            node = self.topology.get(nid)
+            if node is None or not node.alive:
+                continue
+            receivers.append((nid, hops))
+            eccentricity = max(eccentricity, hops)
+            if max_hops is None or hops < max_hops:
+                forwarders += 1
+            if accept is None or accept(node):
+                delivered = dataclasses.replace(node_msg(msg), hops=hops)
+                self.sim.schedule(
+                    hops * self.per_hop_delay, self._deliver, node, delivered
+                )
+        self.stats.charge(category, forwarders, messages=forwarders)
+        return FloodResult(receivers, forwarders, eccentricity)
+
+
+def node_msg(msg: Message) -> Message:
+    """Shallow-copy a message for fan-out delivery (fresh msg_id kept)."""
+    return Message(
+        mtype=msg.mtype,
+        src=msg.src,
+        dst=msg.dst,
+        payload=msg.payload,
+        network_id=msg.network_id,
+        hops=msg.hops,
+        sent_at=msg.sent_at,
+    )

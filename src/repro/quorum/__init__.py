@@ -1,0 +1,26 @@
+"""Quorum systems, voting and replica management.
+
+Implements the consistency-control core of the paper (Sections II-C and
+II-D): majority quorum systems over a cluster head's QDSet, read/write
+quorum constraints (``w > v/2`` and ``r + w > v``), dynamic linear
+voting with a distinguished node for even replica counts, vote
+collection with latest-timestamp resolution, and the replica store each
+cluster head keeps for its adjacent cluster heads' IP spaces.
+"""
+
+from repro.quorum.system import MajorityQuorumSystem, QuorumSystem, is_quorum_system
+from repro.quorum.linear import DynamicLinearVoting
+from repro.quorum.voting import ReadWriteThresholds, Vote, VoteCollector
+from repro.quorum.replica import Replica, ReplicaStore
+
+__all__ = [
+    "QuorumSystem",
+    "MajorityQuorumSystem",
+    "is_quorum_system",
+    "DynamicLinearVoting",
+    "ReadWriteThresholds",
+    "Vote",
+    "VoteCollector",
+    "Replica",
+    "ReplicaStore",
+]

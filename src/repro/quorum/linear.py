@@ -1,0 +1,43 @@
+"""Dynamic linear voting (Jajodia & Mutchler [19]).
+
+Section II-D: with an even number of copies, a set of exactly half the
+nodes constitutes a quorum iff it contains the *distinguished node* —
+for address operations, the cluster head holding the address in its own
+IPSpace.  This raises the probability of successful vote collection
+without breaking the intersection property (any two half-sets containing
+the same distinguished node intersect at that node).
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, Optional
+
+from repro.quorum.system import MajorityQuorumSystem
+
+
+class DynamicLinearVoting(MajorityQuorumSystem):
+    """Majority voting with the distinguished-node half-set rule."""
+
+    def __init__(self, distinguished: Optional[int] = None) -> None:
+        self.distinguished = distinguished
+
+    def is_quorum(self, responders: AbstractSet[int],
+                  universe: AbstractSet[int]) -> bool:
+        members = set(responders) & set(universe)
+        size = len(universe)
+        if len(members) >= super().quorum_threshold(size):
+            return True
+        if (
+            size % 2 == 0
+            and len(members) == size // 2
+            and self.distinguished is not None
+            and self.distinguished in members
+        ):
+            return True
+        return False
+
+    def required_with(self, universe_size: int, has_distinguished: bool) -> int:
+        """Votes needed given whether the distinguished node responds."""
+        if universe_size % 2 == 0 and has_distinguished:
+            return universe_size // 2
+        return super().quorum_threshold(universe_size)

@@ -1,0 +1,66 @@
+"""Quorum system definitions.
+
+Definition 1 of the paper: a set system ``S = {S_1..S_m}`` over universe
+``U`` is a quorum system iff every ``S_i`` is a subset of ``U`` and every
+pair of quorums intersects.  The protocol uses simple *majority* quorums
+over a cluster head's QDSet (plus itself), which trivially satisfy the
+intersection property.
+"""
+
+from __future__ import annotations
+
+import abc
+import itertools
+from typing import AbstractSet, FrozenSet, Iterable, List, Set
+
+
+def is_quorum_system(quorums: Iterable[AbstractSet[int]],
+                     universe: AbstractSet[int]) -> bool:
+    """Check Definition 1: containment and pairwise intersection."""
+    qs: List[FrozenSet[int]] = [frozenset(q) for q in quorums]
+    if not qs:
+        return False
+    for q in qs:
+        if not q <= frozenset(universe):
+            return False
+    for a, b in itertools.combinations(qs, 2):
+        if not a & b:
+            return False
+    # A quorum must also intersect itself, i.e. be non-empty.
+    return all(qs)
+
+
+class QuorumSystem(abc.ABC):
+    """Decides whether a set of responders constitutes a quorum."""
+
+    @abc.abstractmethod
+    def is_quorum(self, responders: AbstractSet[int],
+                  universe: AbstractSet[int]) -> bool:
+        """True iff ``responders`` form a quorum of ``universe``."""
+
+    @abc.abstractmethod
+    def quorum_threshold(self, universe_size: int) -> int:
+        """Minimum number of members required (informational)."""
+
+
+class MajorityQuorumSystem(QuorumSystem):
+    """Strict-majority voting: more than half of the universe.
+
+    With an odd universe of ``v`` members the threshold is ``(v+1)/2``;
+    with an even universe a bare half does *not* qualify (Section II-D:
+    two disjoint halves could otherwise both proceed).
+    """
+
+    def quorum_threshold(self, universe_size: int) -> int:
+        return universe_size // 2 + 1
+
+    def is_quorum(self, responders: AbstractSet[int],
+                  universe: AbstractSet[int]) -> bool:
+        members = set(responders) & set(universe)
+        return len(members) >= self.quorum_threshold(len(universe))
+
+    def minimal_quorums(self, universe: AbstractSet[int]) -> List[Set[int]]:
+        """Enumerate all minimal majority quorums (small universes only)."""
+        members = sorted(universe)
+        threshold = self.quorum_threshold(len(members))
+        return [set(c) for c in itertools.combinations(members, threshold)]

@@ -1,0 +1,69 @@
+"""Event objects used by the simulation engine.
+
+Events are ordered by ``(time, priority, sequence)``.  The sequence number
+is a monotonically increasing tie-breaker assigned by the simulator, which
+makes event ordering — and therefore entire simulation runs — fully
+deterministic for a fixed seed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, Optional, Tuple
+
+
+@dataclasses.dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Attributes:
+        time: absolute simulation time at which the event fires.
+        priority: lower fires first among events at the same time.
+        seq: tie-breaker assigned by the simulator.
+        callback: callable invoked as ``callback(*args)``; not part of
+            the ordering key.
+        cancelled: cancelled events stay in the heap but are skipped.
+    """
+
+    time: float
+    priority: int
+    seq: int
+    callback: Optional[Callable[..., Any]] = dataclasses.field(compare=False)
+    args: Tuple[Any, ...] = dataclasses.field(compare=False, default=())
+    cancelled: bool = dataclasses.field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark this event so the engine skips it when popped."""
+        self.cancelled = True
+
+
+class EventHandle:
+    """A stable, re-schedulable reference to a pending event.
+
+    Protocol code frequently wants to "push back" a timeout or cancel it
+    entirely.  ``EventHandle`` wraps the currently pending :class:`Event`
+    so that rescheduling does not invalidate references held elsewhere.
+    """
+
+    def __init__(self, event: Event) -> None:
+        self._event = event
+
+    @property
+    def event(self) -> Event:
+        return self._event
+
+    @property
+    def time(self) -> float:
+        return self._event.time
+
+    @property
+    def pending(self) -> bool:
+        return not self._event.cancelled
+
+    def cancel(self) -> None:
+        self._event.cancel()
+
+    def replace(self, event: Event) -> None:
+        """Point the handle at a new event, cancelling the previous one."""
+        self._event.cancel()
+        self._event = event

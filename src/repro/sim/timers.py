@@ -1,0 +1,101 @@
+"""One-shot and periodic timers built on the event heap.
+
+The protocol layer uses these for the paper's named timers: the
+retransmission timer ``T_e``/``Max_r`` of network initialization, the
+quorum-adjustment timer ``T_d``, the existence-probe timer ``T_r``,
+periodic HELLO beaconing, and the periodic synchronization of the Buddy
+baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.sim.engine import Simulator
+from repro.sim.events import EventHandle
+
+
+class Timer:
+    """A restartable one-shot timer.
+
+    ``start`` arms the timer; ``restart`` cancels and re-arms it (the
+    common "push back the deadline" pattern); ``stop`` disarms it.
+    """
+
+    def __init__(self, sim: Simulator, callback: Callable[..., Any]) -> None:
+        self._sim = sim
+        self._callback = callback
+        self._handle: Optional[EventHandle] = None
+
+    @property
+    def armed(self) -> bool:
+        return self._handle is not None and self._handle.pending
+
+    @property
+    def deadline(self) -> Optional[float]:
+        return self._handle.time if self.armed else None
+
+    def start(self, delay: float, *args: Any) -> None:
+        if self.armed:
+            raise RuntimeError("timer already armed; use restart()")
+        self._handle = self._sim.schedule(delay, self._fire, *args)
+
+    def restart(self, delay: float, *args: Any) -> None:
+        self.stop()
+        self.start(delay, *args)
+
+    def stop(self) -> None:
+        if self._handle is not None and self._handle.pending:
+            self._sim.cancel(self._handle)
+        self._handle = None
+
+    def _fire(self, *args: Any) -> None:
+        self._handle = None
+        self._callback(*args)
+
+
+class PeriodicTimer:
+    """A timer that re-arms itself every ``interval`` seconds.
+
+    The first firing happens after ``first_delay`` (defaults to the
+    interval); protocols stagger ``first_delay`` per node to avoid
+    lock-step beaconing artifacts.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        interval: float,
+        callback: Callable[[], Any],
+    ) -> None:
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self._sim = sim
+        self.interval = interval
+        self._callback = callback
+        self._handle: Optional[EventHandle] = None
+        self._running = False
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    def start(self, first_delay: Optional[float] = None) -> None:
+        if self._running:
+            return
+        self._running = True
+        delay = self.interval if first_delay is None else first_delay
+        self._handle = self._sim.schedule(delay, self._fire)
+
+    def stop(self) -> None:
+        self._running = False
+        if self._handle is not None and self._handle.pending:
+            self._sim.cancel(self._handle)
+        self._handle = None
+
+    def _fire(self) -> None:
+        if not self._running:
+            return
+        self._callback()
+        if self._running:
+            self._handle = self._sim.schedule(self.interval, self._fire)

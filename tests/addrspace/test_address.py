@@ -1,0 +1,44 @@
+"""Unit and property tests for address formatting."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.addrspace import format_ip, parse_ip
+
+
+def test_known_formats():
+    assert format_ip(0) == "10.0.0.0"
+    assert format_ip(1) == "10.0.0.1"
+    assert format_ip(255) == "10.0.0.255"
+    assert format_ip(256) == "10.0.1.0"
+    assert format_ip(65536) == "10.1.0.0"
+
+
+def test_parse_known():
+    assert parse_ip("10.0.0.0") == 0
+    assert parse_ip("10.0.1.2") == 258
+
+
+def test_negative_address_rejected():
+    with pytest.raises(ValueError):
+        format_ip(-1)
+
+
+def test_parse_malformed():
+    with pytest.raises(ValueError):
+        parse_ip("10.0.0")
+    with pytest.raises(ValueError):
+        parse_ip("10.0.0.999")
+    with pytest.raises(ValueError):
+        parse_ip("9.255.255.255")  # below base prefix
+
+
+def test_custom_base():
+    base = (192 << 24) | (168 << 16)
+    assert format_ip(1, base=base) == "192.168.0.1"
+    assert parse_ip("192.168.0.1", base=base) == 1
+
+
+@given(st.integers(min_value=0, max_value=(1 << 22) - 1))
+def test_roundtrip(address):
+    assert parse_ip(format_ip(address)) == address

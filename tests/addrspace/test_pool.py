@@ -1,0 +1,200 @@
+"""Unit and property tests for the buddy allocation pool."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.addrspace import AddressPool, Block
+
+
+def pool_of(size=16):
+    return AddressPool([Block(0, size)])
+
+
+def test_initial_counts():
+    pool = pool_of(16)
+    assert pool.free_count() == 16
+    assert pool.total_count() == 16
+    assert pool.allocated == set()
+
+
+def test_allocate_lowest_first():
+    pool = pool_of(8)
+    assert pool.allocate() == 0
+    assert pool.allocate() == 1
+    assert pool.free_count() == 6
+
+
+def test_allocate_preferred():
+    pool = pool_of(8)
+    assert pool.allocate(preferred=5) == 5
+    assert 5 in pool.allocated
+    assert pool.allocate(preferred=5) is None  # already taken
+
+
+def test_allocate_exhaustion():
+    pool = pool_of(2)
+    assert pool.allocate() == 0
+    assert pool.allocate() == 1
+    assert pool.allocate() is None
+
+
+def test_release_and_reallocate():
+    pool = pool_of(4)
+    a = pool.allocate()
+    assert pool.release(a)
+    assert pool.free_count() == 4
+    assert pool.allocate() == a
+
+
+def test_release_unallocated_returns_false():
+    assert not pool_of(4).release(2)
+
+
+def test_owns_and_is_free():
+    pool = pool_of(8)
+    a = pool.allocate()
+    assert pool.owns(a)
+    assert not pool.is_free(a)
+    assert pool.owns(5) and pool.is_free(5)
+    assert not pool.owns(8)
+
+
+def test_take_half_halves_largest_block():
+    pool = pool_of(16)
+    given_block = pool.take_half()
+    assert given_block == Block(8, 8)
+    assert pool.free_count() == 8
+    assert pool.owns(0) and not pool.owns(8)
+
+
+def test_take_half_until_unit():
+    pool = pool_of(8)
+    sizes = []
+    while True:
+        block = pool.take_half()
+        if block is None:
+            break
+        sizes.append(block.size)
+    assert sizes == [4, 2, 1]
+    assert pool.free_count() == 1  # the unit block cannot be halved
+
+
+def test_take_half_empty_pool():
+    assert AddressPool().take_half() is None
+
+
+def test_add_block_coalesces_buddies():
+    pool = AddressPool([Block(0, 4)])
+    pool.add_block(Block(4, 4))
+    assert pool.free_blocks() == [Block(0, 8)]
+
+
+def test_release_coalesces_singles():
+    pool = pool_of(4)
+    a = pool.allocate()  # 0
+    b = pool.allocate()  # 1
+    pool.release(a)
+    pool.release(b)
+    assert pool.free_blocks() == [Block(0, 4)]
+    assert pool.free_count() == 4
+
+
+def test_absorb_free_many_coalesces():
+    pool = AddressPool()
+    pool.absorb_free_many([0, 1, 2, 3])
+    assert pool.free_count() == 4
+    assert pool.free_blocks() == [Block(0, 4)]
+
+
+def test_absorb_assigned_tracks_ownership():
+    pool = AddressPool()
+    pool.absorb_assigned(9)
+    assert 9 in pool.allocated
+    assert pool.owns(9)
+    assert pool.release(9)
+    assert pool.is_free(9)
+
+
+def test_take_all_empties_free_space():
+    pool = pool_of(8)
+    pool.allocate()
+    blocks = pool.take_all()
+    assert sum(b.size for b in blocks) == 7
+    assert pool.free_count() == 0
+    assert len(pool.allocated) == 1
+
+
+def test_snapshot_blocks_cover_everything():
+    pool = pool_of(8)
+    a = pool.allocate()
+    covered = set()
+    for block in pool.snapshot_blocks():
+        covered.update(block.addresses())
+    assert covered == set(range(8))
+    assert a in covered
+
+
+def test_peek_free():
+    pool = pool_of(4)
+    assert pool.peek_free() == 0
+    pool.allocate()
+    assert pool.peek_free() == 1
+    # peek does not allocate
+    assert pool.peek_free() == 1
+
+
+def test_free_addresses_sorted():
+    pool = pool_of(4)
+    pool.allocate(preferred=1)
+    assert pool.free_addresses() == [0, 2, 3]
+
+
+# ---------------------------------------------------------------------------
+# Property: conservation — free + allocated always equals the original
+# space, through arbitrary operation sequences.
+# ---------------------------------------------------------------------------
+operations = st.lists(
+    st.one_of(
+        st.just(("alloc",)),
+        st.builds(lambda a: ("release", a), st.integers(0, 31)),
+        st.just(("take_half",)),
+        st.builds(lambda a: ("alloc_pref", a), st.integers(0, 31)),
+    ),
+    max_size=40,
+)
+
+
+@settings(max_examples=100, deadline=None)
+@given(operations)
+def test_conservation_under_operations(ops):
+    pool = AddressPool([Block(0, 32)])
+    donated = 0
+    for op in ops:
+        if op[0] == "alloc":
+            pool.allocate()
+        elif op[0] == "alloc_pref":
+            pool.allocate(preferred=op[1])
+        elif op[0] == "release":
+            pool.release(op[1])
+        elif op[0] == "take_half":
+            block = pool.take_half()
+            if block is not None:
+                donated += block.size
+    assert pool.free_count() + len(pool.allocated) + donated == 32
+    # No address is both free and allocated.
+    for address in pool.allocated:
+        assert not pool.is_free(address)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.sets(st.integers(0, 31), max_size=32))
+def test_release_all_restores_full_pool(addresses):
+    pool = AddressPool([Block(0, 32)])
+    taken = []
+    for a in sorted(addresses):
+        if pool.allocate(preferred=a) is not None:
+            taken.append(a)
+    for a in taken:
+        assert pool.release(a)
+    assert pool.free_count() == 32
+    assert pool.free_blocks() == [Block(0, 32)]

@@ -1,0 +1,102 @@
+"""Stateful property testing of the buddy allocation pool.
+
+A hypothesis rule-based state machine drives the pool through arbitrary
+interleavings of allocate / release / take_half / absorb operations and
+checks the allocator's fundamental invariants after every step.
+"""
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    rule,
+)
+import hypothesis.strategies as st
+
+from repro.addrspace import AddressPool, Block
+
+SPACE = 64
+
+
+class PoolMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.pool = AddressPool([Block(0, SPACE)])
+        self.donated = []       # blocks handed to "other allocators"
+        self.model_allocated = set()
+
+    # ------------------------------------------------------------------
+    @rule()
+    def allocate(self):
+        address = self.pool.allocate()
+        if address is not None:
+            assert address not in self.model_allocated
+            self.model_allocated.add(address)
+        else:
+            assert self.pool.free_count() == 0
+
+    @rule(address=st.integers(0, SPACE - 1))
+    def allocate_preferred(self, address):
+        result = self.pool.allocate(preferred=address)
+        if result is not None:
+            assert result == address
+            assert address not in self.model_allocated
+            self.model_allocated.add(address)
+
+    @rule(address=st.integers(0, SPACE - 1))
+    def release(self, address):
+        ok = self.pool.release(address)
+        assert ok == (address in self.model_allocated)
+        self.model_allocated.discard(address)
+
+    @rule()
+    def take_half(self):
+        before = self.pool.free_count()
+        block = self.pool.take_half()
+        if block is not None:
+            self.donated.append(block)
+            assert self.pool.free_count() == before - block.size
+            # "Half": the donation never exceeds the prior free space.
+            assert block.size <= before
+
+    @rule()
+    def return_a_donation(self):
+        if self.donated:
+            block = self.donated.pop()
+            self.pool.absorb_block(block)
+
+    # ------------------------------------------------------------------
+    @invariant()
+    def conservation(self):
+        donated = sum(b.size for b in self.donated)
+        assert (self.pool.free_count() + len(self.pool.allocated)
+                + donated == SPACE)
+
+    @invariant()
+    def no_address_both_free_and_allocated(self):
+        for address in self.pool.allocated:
+            assert not self.pool.is_free(address)
+
+    @invariant()
+    def model_agreement(self):
+        assert self.pool.allocated == self.model_allocated
+
+    @invariant()
+    def free_blocks_are_disjoint_and_aligned(self):
+        seen = set()
+        for block in self.pool.free_blocks():
+            addresses = set(block.addresses())
+            assert not (addresses & seen)
+            seen |= addresses
+            assert block.start % block.size == 0
+
+    @invariant()
+    def donations_disjoint_from_pool(self):
+        for block in self.donated:
+            for address in block.addresses():
+                assert not self.pool.owns(address)
+
+
+PoolMachine.TestCase.settings = settings(
+    max_examples=60, stateful_step_count=40, deadline=None)
+TestPoolMachine = PoolMachine.TestCase

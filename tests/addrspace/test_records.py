@@ -1,0 +1,137 @@
+"""Unit tests for timestamped address records and ledgers."""
+
+from hypothesis import given, strategies as st
+
+from repro.addrspace import AddressLedger, AddressRecord, AddressStatus
+
+
+def test_default_record_is_free_at_zero():
+    record = AddressLedger().get(5)
+    assert record.status is AddressStatus.FREE
+    assert record.timestamp == 0
+    assert record.holder is None
+
+
+def test_mark_assigned_bumps_timestamp():
+    ledger = AddressLedger()
+    r1 = ledger.mark_assigned(1, holder=42)
+    assert r1.status is AddressStatus.ASSIGNED
+    assert r1.timestamp == 1
+    assert r1.holder == 42
+    r2 = ledger.mark_free(1)
+    assert r2.status is AddressStatus.FREE
+    assert r2.timestamp == 2
+    assert r2.holder is None
+
+
+def test_apply_newer_wins():
+    ledger = AddressLedger()
+    ledger.mark_assigned(1, holder=1)  # ts 1
+    newer = AddressRecord(AddressStatus.FREE, 5, None)
+    assert ledger.apply(1, newer)
+    assert ledger.get(1).status is AddressStatus.FREE
+    assert ledger.get(1).timestamp == 5
+
+
+def test_apply_older_ignored():
+    ledger = AddressLedger()
+    ledger.mark_assigned(1, holder=1)
+    ledger.mark_free(1)  # ts 2
+    stale = AddressRecord(AddressStatus.ASSIGNED, 1, 9)
+    assert not ledger.apply(1, stale)
+    assert ledger.get(1).status is AddressStatus.FREE
+
+
+def test_apply_equal_timestamp_ignored():
+    ledger = AddressLedger()
+    ledger.mark_assigned(2, holder=1)  # ts 1
+    rival = AddressRecord(AddressStatus.FREE, 1, None)
+    assert not ledger.apply(2, rival)
+
+
+def test_apply_copies_record():
+    ledger = AddressLedger()
+    record = AddressRecord(AddressStatus.ASSIGNED, 3, 7)
+    ledger.apply(1, record)
+    record.timestamp = 99  # mutating the source must not leak in
+    assert ledger.get(1).timestamp == 3
+
+
+def test_merge_pulls_newer_records():
+    a = AddressLedger()
+    b = AddressLedger()
+    a.mark_assigned(1, holder=1)          # a: ts 1
+    b.mark_assigned(1, holder=2)
+    b.mark_free(1)                        # b: ts 2
+    b.mark_assigned(2, holder=3)          # b only
+    updated = a.merge(b)
+    assert updated == 2
+    assert a.get(1).status is AddressStatus.FREE
+    assert a.get(2).holder == 3
+
+
+def test_merge_is_idempotent():
+    a = AddressLedger()
+    b = AddressLedger()
+    b.mark_assigned(1, holder=2)
+    a.merge(b)
+    assert a.merge(b) == 0
+
+
+def test_assigned_addresses():
+    ledger = AddressLedger()
+    ledger.mark_assigned(1, holder=1)
+    ledger.mark_assigned(2, holder=2)
+    ledger.mark_free(1)
+    assert list(ledger.assigned_addresses()) == [2]
+
+
+def test_contains_and_len():
+    ledger = AddressLedger()
+    assert 1 not in ledger
+    ledger.get(1)
+    assert 1 in ledger
+    assert len(ledger) == 1
+
+
+def test_newer_than():
+    old = AddressRecord(AddressStatus.FREE, 1)
+    new = AddressRecord(AddressStatus.ASSIGNED, 2)
+    assert new.newer_than(old)
+    assert not old.newer_than(new)
+
+
+@given(st.lists(st.tuples(st.booleans(), st.integers(0, 7)), max_size=30))
+def test_timestamp_monotone_under_local_updates(ops):
+    ledger = AddressLedger()
+    last_ts = {}
+    for assign, address in ops:
+        if assign:
+            record = ledger.mark_assigned(address, holder=0)
+        else:
+            record = ledger.mark_free(address)
+        assert record.timestamp > last_ts.get(address, 0) - 1
+        assert record.timestamp == last_ts.get(address, 0) + 1
+        last_ts[address] = record.timestamp
+
+
+@given(
+    st.lists(st.tuples(st.integers(0, 3), st.integers(1, 20), st.booleans()),
+             max_size=30)
+)
+def test_merge_converges_to_latest(records):
+    """Two ledgers receiving the same records in any split converge."""
+    a = AddressLedger()
+    b = AddressLedger()
+    for i, (address, ts, assigned) in enumerate(records):
+        status = AddressStatus.ASSIGNED if assigned else AddressStatus.FREE
+        record = AddressRecord(status, ts, None)
+        (a if i % 2 == 0 else b).apply(address, record)
+    a.merge(b)
+    b.merge(a)
+    for address in set(r[0] for r in records):
+        ra, rb = a.peek(address), b.peek(address)
+        if ra is None or rb is None:
+            assert ra is rb is None or (ra or rb).timestamp >= 0
+        else:
+            assert ra.timestamp == rb.timestamp

@@ -1,0 +1,68 @@
+"""Stateless DAD baseline: random pick + query floods."""
+
+from repro.baselines.dad import DadAgent, DadConfig
+from repro.geometry import Point
+from repro.mobility.base import Stationary
+from repro.net import Node
+from repro.net.context import NetworkContext
+from repro.net.stats import Category
+
+
+def build(positions, cfg=None, enter_gap=5.0):
+    ctx = NetworkContext.build(seed=1, transmission_range=150.0)
+    cfg = cfg or DadConfig()
+    agents = []
+    for i, (x, y) in enumerate(positions):
+        node = Node(i, Stationary(Point(x, y)))
+        ctx.topology.add_node(node)
+        agent = DadAgent(ctx, node, cfg)
+        ctx.sim.schedule(enter_gap * i + 0.1, agent.on_enter)
+        agents.append(agent)
+    return ctx, agents
+
+
+def chain(n):
+    return [(100 + 120 * i, 500) for i in range(n)]
+
+
+def test_lone_node_configures_after_retries():
+    cfg = DadConfig(areq_retries=3, reply_wait=1.0)
+    ctx, agents = build(chain(1), cfg)
+    ctx.sim.run(until=20.0)
+    assert agents[0].ip is not None
+    # Configured only after all silent rounds elapsed.
+    assert agents[0].configured_at >= 3 * 1.0
+
+
+def test_connected_nodes_get_unique_addresses():
+    ctx, agents = build(chain(5))
+    ctx.sim.run(until=80.0)
+    ips = [a.ip for a in agents]
+    assert all(ip is not None for ip in ips)
+    assert len(set(ips)) == 5
+
+
+def test_conflicting_candidate_repicked():
+    cfg = DadConfig(address_space_bits=1)  # only 2 addresses: conflicts
+    ctx, agents = build(chain(2), cfg)
+    ctx.sim.run(until=60.0)
+    a, b = agents
+    assert a.ip is not None and b.ip is not None
+    assert a.ip != b.ip
+
+
+def test_every_configuration_floods():
+    ctx, agents = build(chain(4))
+    ctx.sim.run(until=60.0)
+    # areq_retries floods per node.
+    assert ctx.stats.messages[Category.CONFIG] >= 4 * 3
+
+
+def test_departure_is_silent():
+    ctx, agents = build(chain(2))
+    ctx.sim.run(until=30.0)
+    before = ctx.stats.hops[Category.DEPARTURE]
+    agents[1].depart_gracefully()
+    ctx.sim.run(until=ctx.sim.now + 5.0)
+    assert ctx.stats.hops[Category.DEPARTURE] == before
+    assert not agents[1].node.alive

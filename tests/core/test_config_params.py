@@ -1,0 +1,36 @@
+"""Unit tests for ProtocolConfig validation."""
+
+import pytest
+
+from repro.core import ProtocolConfig
+
+
+def test_defaults_are_valid():
+    cfg = ProtocolConfig()
+    assert cfg.address_space_size == 1024
+    assert cfg.location_update_mode == "periodic"
+
+
+def test_address_space_size_derivation():
+    assert ProtocolConfig(address_space_bits=4).address_space_size == 16
+
+
+def test_invalid_bits_rejected():
+    with pytest.raises(ValueError):
+        ProtocolConfig(address_space_bits=0)
+    with pytest.raises(ValueError):
+        ProtocolConfig(address_space_bits=30)
+
+
+def test_invalid_location_mode_rejected():
+    with pytest.raises(ValueError):
+        ProtocolConfig(location_update_mode="sometimes")
+
+
+def test_upon_leave_mode_accepted():
+    assert ProtocolConfig(location_update_mode="upon_leave")
+
+
+def test_max_r_positive():
+    with pytest.raises(ValueError):
+        ProtocolConfig(max_r=0)

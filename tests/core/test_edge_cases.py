@@ -1,0 +1,235 @@
+"""Edge-case coverage for the core protocol's safety machinery."""
+
+from repro.addrspace import Block
+from repro.addrspace.records import AddressStatus
+from repro.cluster.roles import Role
+from repro.core import ProtocolConfig
+from repro.core import messages as m
+from repro.core.protocol import CONFLICT_TS
+from repro.geometry import Point
+from repro.mobility.base import Stationary
+from repro.net.message import Message
+from repro.net.stats import Category
+
+from tests.helpers import add_node, line_agents, make_ctx, positions_cluster
+
+
+def configured_chain(ctx, count, cfg=None):
+    agents = line_agents(ctx, count, cfg=cfg)
+    ctx.sim.run(until=count * 15.0 + 20.0)
+    return agents
+
+
+# ---------------------------------------------------------------------------
+# Relay / agent-forwarding (Section V-A second paragraph)
+# ---------------------------------------------------------------------------
+def test_dry_head_without_quorum_relays_to_configurer():
+    ctx = make_ctx()
+    cfg = ProtocolConfig(address_space_bits=3, borrowing_enabled=True)
+    agents = configured_chain(ctx, 4, cfg=cfg)
+    head3 = agents[3]
+    assert head3.role is Role.HEAD
+    # Drain head3's own space AND make its replicas useless by draining
+    # head0 as well, so select_candidate finds nothing and the request
+    # must be relayed (or self-audited).
+    for agent in (agents[0], head3):
+        while agent.head.pool.peek_free() is not None:
+            agent.head.pool.allocate()
+        for address in list(agent.head.pool.allocated):
+            agent.head.ledger.mark_assigned(address, holder=999)
+    for replica_owner in head3.head.replicas.owners():
+        replica = head3.head.replicas.get(replica_owner)
+        for address in list(replica.free_addresses()):
+            replica.ledger.mark_assigned(address, holder=999)
+    newcomer = add_node(ctx, 50, 100.0 + 120.0 * 4, cfg=cfg)
+    newcomer.on_enter()
+    ctx.sim.run(until=ctx.sim.now + 20.0)
+    # The network is genuinely full: the newcomer must not be configured
+    # with a duplicate, whatever else happens.
+    if newcomer.ip is not None:
+        for agent in agents:
+            if agent.ip is not None:
+                assert (agent.network_id, agent.ip) != (
+                    newcomer.network_id, newcomer.ip)
+
+
+# ---------------------------------------------------------------------------
+# Cross-owner conflict veto
+# ---------------------------------------------------------------------------
+def test_conflict_veto_blocks_forked_ownership():
+    ctx = make_ctx()
+    cfg = ProtocolConfig(use_linear_voting=False)
+    agents = configured_chain(ctx, 7, cfg=cfg)  # heads at 0, 3, 6
+    heads = [a for a in agents if a.role is Role.HEAD]
+    assert len(heads) >= 2
+    a, b = heads[0], heads[1]
+    # Fork ownership artificially: give head A a free block that B also
+    # owns (the corruption the veto defends against).
+    stolen = sorted(b.head.pool.allocated)[0]
+    a.head.pool.absorb_free(stolen)
+    before = ctx.agent_of(b.head.configured.get(stolen, -1))
+    # A proposes the stolen address to a newcomer.
+    newcomer = add_node(ctx, 60, 100.0, 560.0, cfg=cfg)
+    newcomer.on_enter()
+    ctx.sim.run(until=ctx.sim.now + 25.0)
+    if newcomer.ip is not None:
+        holder = b.head.configured.get(stolen)
+        if holder is not None and holder != newcomer.node_id:
+            assert newcomer.ip != stolen, (
+                "conflict veto failed: forked address assigned")
+
+
+def test_conflict_votes_never_pollute_ledgers():
+    ctx = make_ctx()
+    agents = configured_chain(ctx, 4)
+    head = agents[0]
+    for _address, record in head.head.ledger.items():
+        assert record.timestamp < CONFLICT_TS
+
+
+# ---------------------------------------------------------------------------
+# INIT coordination
+# ---------------------------------------------------------------------------
+def test_init_defer_from_configured_node():
+    ctx = make_ctx()
+    agents = configured_chain(ctx, 3)
+    # An unconfigured newcomer next to a configured common node whose
+    # head is out of its 2-hop range: it must NOT found a second
+    # network, but join via the CH_REQ path.
+    newcomer = add_node(ctx, 50, 100.0 + 120.0 * 3)
+    newcomer.on_enter()
+    ctx.sim.run(until=ctx.sim.now + 30.0)
+    assert newcomer.is_configured()
+    assert newcomer.network_id == agents[0].network_id
+
+
+def test_three_simultaneous_entrants_one_network():
+    ctx = make_ctx()
+    cfg = ProtocolConfig()
+    agents = []
+    for i in range(3):
+        agent = add_node(ctx, i, 440.0 + 60.0 * i, cfg=cfg)
+        ctx.sim.schedule(0.1 + 0.01 * i, agent.on_enter)
+        agents.append(agent)
+    ctx.sim.run(until=60.0)
+    assert all(a.is_configured() for a in agents)
+    assert len({a.network_id for a in agents}) == 1
+
+
+# ---------------------------------------------------------------------------
+# Declines and rollback
+# ---------------------------------------------------------------------------
+def test_duplicate_com_cfg_is_reacked_not_declined():
+    ctx = make_ctx()
+    agents = configured_chain(ctx, 2)
+    head, common = agents
+    # Replay the configuration grant.
+    replay = Message(m.COM_CFG, src=head.node_id, dst=common.node_id,
+                     payload={"address": common.ip,
+                              "allocator_ip": head.head.ip,
+                              "allocator_id": head.node_id,
+                              "network_id": head.network_id,
+                              "lat": 0, "attempt": 12345},
+                     network_id=head.network_id)
+    common.on_message(replay)
+    ctx.sim.run(until=ctx.sim.now + 5.0)
+    # The address was not rolled back at the allocator.
+    assert common.ip in head.head.pool.allocated
+
+
+def test_foreign_grant_is_declined_and_rolled_back():
+    ctx = make_ctx()
+    agents = configured_chain(ctx, 5)  # heads at 0, 3
+    head0, head3 = agents[0], agents[3]
+    follower = agents[4]
+    # head0 "grants" the follower an address it never asked to keep.
+    from repro.core.configuration import PendingConfig
+    free = head0.head.pool.peek_free()
+    assert free is not None
+    pending = PendingConfig(requester=follower.node_id, kind="common",
+                            address=free, owner_id=head0.node_id)
+    pending.collector = None
+    head0._pending[pending.attempt_id] = pending
+    head0.head.pool.allocate(free)
+    head0.head.ledger.mark_assigned(free, follower.node_id)
+    pending.cfg_delivered = True
+    grant = Message(m.COM_CFG, src=head0.node_id, dst=follower.node_id,
+                    payload={"address": free,
+                             "allocator_ip": head0.head.ip,
+                             "allocator_id": head0.node_id,
+                             "network_id": head0.network_id,
+                             "lat": 0, "attempt": pending.attempt_id},
+                    network_id=head0.network_id)
+    follower.on_message(grant)
+    ctx.sim.run(until=ctx.sim.now + 5.0)
+    # The follower declined (already configured elsewhere) and head0
+    # rolled the grant back.
+    assert head0.head.pool.is_free(free)
+    assert head0.head.ledger.get(free).status is AddressStatus.FREE
+
+
+# ---------------------------------------------------------------------------
+# Out-of-addresses audit (REC_AUDIT)
+# ---------------------------------------------------------------------------
+def test_self_audit_recovers_dead_holders_addresses():
+    ctx = make_ctx()
+    cfg = ProtocolConfig(address_space_bits=3, reclamation_window=1.0)
+    agents = configured_chain(ctx, 3, cfg=cfg)
+    head = agents[0]
+    victim = agents[1]
+    leaked = victim.ip
+    victim.vanish()  # abrupt: the address leaks
+    ctx.sim.run(until=ctx.sim.now + 5.0)
+    assert leaked in head.head.pool.allocated
+    # Exhaust the pool so a new request triggers the audit.
+    while head.head.pool.peek_free() is not None:
+        head.head.pool.allocate()
+    newcomer = add_node(ctx, 50, 220.0, 560.0, cfg=cfg)
+    newcomer.on_enter()
+    ctx.sim.run(until=ctx.sim.now + 30.0)
+    # The dead node's address was recovered (and possibly reused).
+    assert (head.head.pool.is_free(leaked)
+            or head.head.configured.get(leaked) not in (victim.node_id,))
+
+
+def test_self_audit_spares_alive_distant_holders():
+    ctx = make_ctx()
+    cfg = ProtocolConfig(address_space_bits=3, reclamation_window=1.0)
+    agents = configured_chain(ctx, 3, cfg=cfg)
+    head, member = agents[0], agents[1]
+    held = member.ip
+    # The member wanders away (alive, unreachable).
+    member.node.mobility = Stationary(Point(5000.0, 5000.0))
+    ctx.topology.invalidate()
+    while head.head.pool.peek_free() is not None:
+        head.head.pool.allocate()
+    newcomer = add_node(ctx, 50, 220.0, 560.0, cfg=cfg)
+    newcomer.on_enter()
+    ctx.sim.run(until=ctx.sim.now + 30.0)
+    # The alive holder's address is never freed.
+    assert held in head.head.pool.allocated
+
+
+# ---------------------------------------------------------------------------
+# Retry helper
+# ---------------------------------------------------------------------------
+def test_send_with_retry_eventually_delivers():
+    ctx = make_ctx()
+    agents = configured_chain(ctx, 2)
+    head, common = agents
+    # Take the common node out of range, send, then bring it back.
+    home = common.node.position(ctx.sim.now)
+    common.node.mobility = Stationary(Point(5000.0, 5000.0))
+    ctx.topology.invalidate()
+    received = []
+    original = common.on_message
+    common.on_message = lambda msg: (received.append(msg.mtype),
+                                     original(msg))
+    head._send_with_retry(common.node_id, m.REP_REQ, {}, Category.MAINTENANCE,
+                          retries=5, spacing=1.0)
+    ctx.sim.run(until=ctx.sim.now + 2.0)
+    assert "REP_REQ" not in received
+    common.node.mobility = Stationary(home)
+    ctx.topology.invalidate()
+    ctx.sim.run(until=ctx.sim.now + 6.0)
+    assert "REP_REQ" in received

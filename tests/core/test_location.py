@@ -1,0 +1,79 @@
+"""Location update for mobile common nodes (Section IV-C-1)."""
+
+from repro.core import ProtocolConfig
+from repro.geometry import Point
+from repro.mobility.base import Stationary
+from repro.net.stats import Category
+
+from tests.helpers import line_agents, make_ctx
+
+
+def test_no_updates_while_near_configurer():
+    ctx = make_ctx()
+    agents = line_agents(ctx, 2)
+    ctx.sim.run(until=60.0)
+    assert ctx.stats.hops[Category.MOVEMENT] == 0
+    assert agents[1].common.administrator_id is None
+
+
+def test_update_loc_after_moving_beyond_three_hops():
+    ctx = make_ctx()
+    agents = line_agents(ctx, 8)  # heads form every ~3 hops
+    ctx.sim.run(until=130.0)
+    mover = agents[1]
+    assert mover.common is not None
+    configurer = mover.common.configurer_id
+    # Teleport the mover to the far end of the chain (>3 hops away).
+    mover.node.mobility = Stationary(Point(100.0 + 120.0 * 7, 500.0))
+    ctx.topology.invalidate()
+    ctx.sim.run(until=ctx.sim.now + 15.0)
+    assert ctx.stats.hops[Category.MOVEMENT] > 0
+    administrator = mover.common.administrator_id
+    assert administrator is not None
+    assert administrator != configurer
+    hops = ctx.topology.hops(mover.node_id, administrator)
+    assert hops is not None and hops <= 3
+
+
+def test_administrator_recorded_at_head():
+    ctx = make_ctx()
+    agents = line_agents(ctx, 8)
+    ctx.sim.run(until=130.0)
+    mover = agents[1]
+    mover.node.mobility = Stationary(Point(100.0 + 120.0 * 7, 500.0))
+    ctx.topology.invalidate()
+    ctx.sim.run(until=ctx.sim.now + 15.0)
+    admin = ctx.agent_of(mover.common.administrator_id)
+    assert mover.common.ip in admin.head.administered
+    node_id, configurer_ip = admin.head.administered[mover.common.ip]
+    assert node_id == mover.node_id
+    assert configurer_ip == mover.common.configurer_ip
+
+
+def test_upon_leave_mode_sends_no_location_updates():
+    ctx = make_ctx()
+    cfg = ProtocolConfig(location_update_mode="upon_leave")
+    agents = line_agents(ctx, 8, cfg=cfg)
+    ctx.sim.run(until=130.0)
+    mover = agents[1]
+    mover.node.mobility = Stationary(Point(100.0 + 120.0 * 7, 500.0))
+    ctx.topology.invalidate()
+    ctx.sim.run(until=ctx.sim.now + 20.0)
+    assert ctx.stats.hops[Category.MOVEMENT] == 0
+
+
+def test_departure_after_migration_routes_address_home():
+    """A node that migrated away returns its address via its current
+    nearest head; the address ends up free at the original allocator."""
+    ctx = make_ctx()
+    agents = line_agents(ctx, 8)
+    ctx.sim.run(until=130.0)
+    mover = agents[1]
+    allocator = ctx.agent_of(mover.common.configurer_id)
+    address = mover.ip
+    mover.node.mobility = Stationary(Point(100.0 + 120.0 * 7, 500.0))
+    ctx.topology.invalidate()
+    ctx.sim.run(until=ctx.sim.now + 15.0)
+    mover.depart_gracefully()
+    ctx.sim.run(until=ctx.sim.now + 20.0)
+    assert allocator.head.pool.is_free(address)

@@ -1,0 +1,34 @@
+"""Sanity checks on the protocol message vocabulary."""
+
+from repro.core import messages as m
+
+
+def test_all_types_unique():
+    assert len(m.ALL_TYPES) == len(set(m.ALL_TYPES))
+
+
+def test_all_types_match_their_constants():
+    for mtype in m.ALL_TYPES:
+        assert getattr(m, mtype) == mtype
+
+
+def test_table1_vocabulary_present():
+    for name in ("CH_REQ", "CH_PRP", "CH_CNF", "QUORUM_CLT",
+                 "QUORUM_CFM", "CH_CFG", "CH_ACK"):
+        assert name in m.ALL_TYPES
+
+
+def test_paper_named_messages_present():
+    # The messages the paper names explicitly in Sections IV-V.
+    for name in ("COM_REQ", "UPDATE_LOC", "RETURN_ADDR", "ADDR_REC",
+                 "REC_REP", "REP_REQ"):
+        assert name in m.ALL_TYPES
+
+
+def test_every_module_constant_is_registered():
+    constants = {
+        name: value for name, value in vars(m).items()
+        if name.isupper() and isinstance(value, str) and name != "ALL_TYPES"
+    }
+    for name, value in constants.items():
+        assert value in m.ALL_TYPES, f"{name} missing from ALL_TYPES"

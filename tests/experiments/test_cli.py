@@ -1,0 +1,65 @@
+"""CLI smoke and behavior tests."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_run_defaults():
+    args = build_parser().parse_args(["run"])
+    assert args.protocol == "quorum"
+    assert args.nodes == 100
+
+
+def test_run_command_prints_report(capsys):
+    code = main(["run", "--nodes", "20", "--seed", "1", "--settle", "10"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "configured" in out
+    assert "unique addresses" in out
+
+
+def test_run_with_baseline_protocol(capsys):
+    code = main(["run", "--protocol", "ctree", "--nodes", "15",
+                 "--settle", "10"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "ctree" in out
+
+
+def test_compare_lists_all_protocols(capsys):
+    code = main(["compare", "--nodes", "15", "--settle", "10"])
+    out = capsys.readouterr().out
+    assert code == 0
+    for protocol in ("quorum", "manetconf", "buddy", "ctree", "dad",
+                     "weakdad"):
+        assert protocol in out
+
+
+def test_figure_table1(capsys):
+    code = main(["figure", "table1"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "CH_REQ" in out and "QUORUM_CLT" in out
+
+
+def test_layout_draws_map(capsys):
+    code = main(["layout", "--nodes", "30"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "H" in out and "cluster head" in out
+
+
+def test_unknown_figure_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["figure", "fig99"])
+
+
+def test_invalid_protocol_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "--protocol", "pigeon"])

@@ -1,0 +1,60 @@
+"""Unit tests for result export."""
+
+import csv
+
+from repro.experiments.export import (
+    read_series_json,
+    write_series_csv,
+    write_series_json,
+)
+
+
+def sample_result():
+    return {
+        "title": "Fig. X",
+        "xlabel": "nodes",
+        "ylabel": "hops",
+        "x": [50, 100],
+        "series": {"quorum": [1.5, 2.5], "manetconf": [3.0, 4.0]},
+        "series_std": {"quorum": [0.1, 0.2], "manetconf": [0.0, 0.0]},
+    }
+
+
+def test_csv_roundtrip(tmp_path):
+    path = write_series_csv(sample_result(), tmp_path / "fig.csv")
+    with path.open() as handle:
+        rows = list(csv.reader(handle))
+    assert rows[0] == ["nodes", "quorum", "manetconf",
+                       "quorum (std)", "manetconf (std)"]
+    assert rows[1] == ["50", "1.5", "3.0", "0.1", "0.0"]
+    assert len(rows) == 3
+
+
+def test_csv_without_std(tmp_path):
+    result = sample_result()
+    del result["series_std"]
+    path = write_series_csv(result, tmp_path / "fig.csv")
+    with path.open() as handle:
+        rows = list(csv.reader(handle))
+    assert rows[0] == ["nodes", "quorum", "manetconf"]
+
+
+def test_json_roundtrip(tmp_path):
+    result = sample_result()
+    path = write_series_json(result, tmp_path / "fig.json")
+    loaded = read_series_json(path)
+    assert loaded["title"] == "Fig. X"
+    assert loaded["x"] == [50, 100]
+    assert loaded["series"]["quorum"] == [1.5, 2.5]
+    assert loaded["series_std"]["quorum"] == [0.1, 0.2]
+
+
+def test_exports_real_figure(tmp_path):
+    from repro.experiments import figures
+    result = figures.fig12_ip_space_extension(
+        ranges=(150.0,), sizes=(30,), seeds=(1,))
+    csv_path = write_series_csv(result, tmp_path / "fig12.csv")
+    json_path = write_series_json(result, tmp_path / "fig12.json")
+    assert csv_path.exists() and json_path.exists()
+    loaded = read_series_json(json_path)
+    assert loaded["x"] == [150.0]

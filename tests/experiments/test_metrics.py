@@ -1,0 +1,129 @@
+"""Unit tests for derived run metrics."""
+
+from repro.experiments.metrics import DeathRecord, NodeOutcome, RunResult
+
+
+def outcome(node_id, configured=True, latency=5, is_head=False, ip=None,
+            alive=True, network_id=1024):
+    return NodeOutcome(
+        node_id=node_id, configured=configured, failed=False,
+        latency_hops=latency if configured else None,
+        latency_time=0.5 if configured else None,
+        attempts=1, is_head=is_head,
+        ip=ip if ip is not None else node_id,
+        network_id=network_id, alive=alive, reconfigurations=0,
+    )
+
+
+def result(outcomes, hops=None, deaths=(), graceful=0, abrupt=0,
+           protocol="quorum", graceful_ids=frozenset()):
+    base = {c: 0 for c in
+            ("config", "departure", "movement", "maintenance",
+             "reclamation", "partition", "hello")}
+    base.update(hops or {})
+    return RunResult(
+        protocol=protocol, num_nodes=len(outcomes), duration=100.0,
+        outcomes=list(outcomes), stats_hops=base, stats_msgs=dict(base),
+        deaths=list(deaths), graceful_departures=graceful,
+        abrupt_departures=abrupt, graceful_ids=graceful_ids,
+    )
+
+
+def test_basic_counters():
+    r = result([outcome(0), outcome(1, configured=False)])
+    assert r.configured_count() == 1
+    assert r.configuration_success_rate() == 0.5
+
+
+def test_latency_averages_only_configured():
+    r = result([outcome(0, latency=4), outcome(1, latency=8),
+                outcome(2, configured=False)])
+    assert r.avg_config_latency_hops() == 6.0
+    assert r.avg_config_latency_time() == 0.5
+
+
+def test_config_overhead_per_node():
+    r = result([outcome(0), outcome(1)],
+               hops={"config": 10, "maintenance": 6})
+    assert r.config_overhead_per_node() == 8.0
+    assert r.config_overhead_per_node(include_maintenance=False) == 5.0
+
+
+def test_departure_overhead():
+    r = result([outcome(0)], hops={"departure": 12}, graceful=4)
+    assert r.departure_overhead_per_departure() == 3.0
+
+
+def test_maintenance_overhead_sums_three_categories():
+    r = result([outcome(i) for i in range(4)],
+               hops={"movement": 4, "departure": 4, "maintenance": 8})
+    assert r.maintenance_overhead() == 4.0
+
+
+def test_reclamation_overhead():
+    r = result([outcome(0)], hops={"reclamation": 30}, abrupt=3)
+    assert r.reclamation_overhead() == 10.0
+
+
+def test_extension_ratio_aggregate():
+    r = result([outcome(0)])
+    r.ip_space_total = 100
+    r.quorum_space_total = 300
+    assert r.avg_extension_ratio() == 4.0
+
+
+def test_extension_ratio_defaults_to_one():
+    assert result([outcome(0)]).avg_extension_ratio() == 1.0
+
+
+def test_information_loss_quorum_survivors():
+    deaths = [DeathRecord(node_id=9, time=50.0, was_head=True,
+                          qdset_members=(1, 2, 3))]
+    alive = [outcome(i) for i in (1, 2, 3)]
+    r = result(alive, deaths=deaths, abrupt=1)
+    assert r.information_loss_pct() == 0.0
+
+
+def test_information_loss_quorum_majority_dead():
+    deaths = [DeathRecord(node_id=9, time=50.0, was_head=True,
+                          qdset_members=(1, 2, 3))]
+    survivors = [outcome(1), outcome(2, alive=False), outcome(3, alive=False)]
+    r = result(survivors, deaths=deaths, abrupt=3)
+    assert r.information_loss_pct() == 100.0
+
+
+def test_information_loss_counts_graceful_as_survivor():
+    deaths = [DeathRecord(node_id=9, time=50.0, was_head=True,
+                          qdset_members=(1, 2))]
+    survivors = [outcome(1), outcome(2, alive=False)]
+    r = result(survivors, deaths=deaths, abrupt=1,
+               graceful_ids=frozenset({2}))
+    assert r.information_loss_pct() == 0.0
+
+
+def test_information_loss_ctree_root_death():
+    deaths = [
+        DeathRecord(node_id=9, time=50.0, was_head=True,
+                    ever_reported=True, root_id=0,
+                    allocations_since_report=0, allocations_total=4),
+        DeathRecord(node_id=0, time=50.0, was_head=True,
+                    ever_reported=True, root_id=0,
+                    allocations_since_report=0, allocations_total=4),
+    ]
+    r = result([outcome(1)], deaths=deaths, abrupt=2, protocol="ctree")
+    assert r.information_loss_pct() == 100.0
+
+
+def test_information_loss_ctree_unreported_fraction():
+    deaths = [DeathRecord(node_id=9, time=50.0, was_head=True,
+                          ever_reported=True, root_id=0,
+                          allocations_since_report=1, allocations_total=4)]
+    r = result([outcome(0)], deaths=deaths, abrupt=1, protocol="ctree")
+    assert r.information_loss_pct() == 25.0
+
+
+def test_duplicate_detection_flag():
+    r = result([outcome(0)])
+    assert r.uniqueness_ok()
+    r.duplicate_addresses = 1
+    assert not r.uniqueness_ok()

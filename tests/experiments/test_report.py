@@ -1,0 +1,32 @@
+"""Unit tests for ASCII report rendering."""
+
+from repro.experiments import format_series, format_table
+
+
+def test_format_table_alignment():
+    text = format_table(["name", "value"], [["a", 1], ["long-name", 2.5]])
+    lines = text.splitlines()
+    assert len(lines) == 4
+    assert "name" in lines[0] and "value" in lines[0]
+    assert set(lines[1]) <= {"-", "+"}
+    assert "2.50" in lines[3]
+
+
+def test_format_table_empty_rows():
+    text = format_table(["x"], [])
+    assert "x" in text
+
+
+def test_format_series_shape():
+    result = {
+        "title": "Fig. X — demo",
+        "xlabel": "nodes",
+        "ylabel": "hops",
+        "x": [50, 100],
+        "series": {"quorum": [1.0, 2.0], "manetconf": [3.0, 4.0]},
+    }
+    text = format_series(result)
+    assert "Fig. X — demo" in text
+    assert "(y: hops)" in text
+    assert "quorum" in text and "manetconf" in text
+    assert "50" in text and "4.00" in text

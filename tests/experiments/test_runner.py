@@ -1,0 +1,81 @@
+"""Integration tests: the runner drives every protocol end to end."""
+
+import pytest
+
+from repro.experiments import Scenario, ScenarioRunner, run_scenario
+from repro.experiments.runner import PROTOCOLS
+
+
+def small(seed=1, **kw):
+    kw.setdefault("num_nodes", 25)
+    kw.setdefault("settle_time", 15.0)
+    return Scenario.paper_default(seed=seed, **kw)
+
+
+@pytest.mark.parametrize("protocol", sorted(PROTOCOLS))
+def test_every_protocol_configures_most_nodes(protocol):
+    result = run_scenario(small(), protocol=protocol)
+    assert result.protocol == protocol
+    assert result.configuration_success_rate() >= 0.8
+    assert result.avg_config_latency_hops() >= 0
+
+
+def test_unknown_protocol_rejected():
+    with pytest.raises(ValueError):
+        ScenarioRunner(small(), protocol="carrier-pigeon")
+
+
+def test_quorum_uniqueness_on_default_scenario():
+    result = run_scenario(small(num_nodes=60, seed=3))
+    assert result.uniqueness_ok()
+
+
+def test_departures_tracked():
+    result = run_scenario(small(
+        num_nodes=30, depart_fraction=0.5, abrupt_probability=0.4,
+        settle_time=30.0, seed=2))
+    total = result.graceful_departures + result.abrupt_departures
+    assert total == 15
+    assert len(result.deaths) == result.abrupt_departures
+    assert len(result.graceful_ids) == result.graceful_departures
+
+
+def test_runs_are_deterministic():
+    a = run_scenario(small(seed=11))
+    b = run_scenario(small(seed=11))
+    assert a.stats_hops == b.stats_hops
+    assert [o.ip for o in a.outcomes] == [o.ip for o in b.outcomes]
+    assert a.avg_config_latency_hops() == b.avg_config_latency_hops()
+
+
+def test_different_seeds_differ():
+    a = run_scenario(small(seed=1))
+    b = run_scenario(small(seed=2))
+    assert [o.ip for o in a.outcomes] != [o.ip for o in b.outcomes] or (
+        a.stats_hops != b.stats_hops)
+
+
+def test_static_scenario_supported():
+    result = run_scenario(small(speed_mps=0.0, seed=4))
+    assert result.configuration_success_rate() >= 0.9
+
+
+def test_hotspot_scenario_runs():
+    result = run_scenario(small(
+        num_nodes=20, hotspot=(500.0, 500.0), hotspot_radius=80.0, seed=5))
+    assert result.configuration_success_rate() >= 0.9
+
+
+def test_quorum_structure_metrics_populated():
+    result = run_scenario(small(num_nodes=40, seed=6))
+    assert result.head_count >= 1
+    assert result.qdset_sizes
+    assert result.avg_extension_ratio() >= 1.0
+    assert result.ip_space_total > 0
+
+
+def test_baseline_structure_metrics_empty():
+    result = run_scenario(small(seed=1), protocol="manetconf")
+    assert result.head_count == 0
+    assert result.qdset_sizes == []
+    assert result.avg_extension_ratio() == 1.0

@@ -1,0 +1,31 @@
+"""Scenario definition validation."""
+
+import pytest
+
+from repro.experiments import Scenario
+
+
+def test_paper_default_matches_section_vi():
+    scenario = Scenario.paper_default()
+    assert scenario.area == (1000.0, 1000.0)
+    assert scenario.transmission_range == 150.0
+    assert scenario.speed_mps == 20.0
+
+
+def test_paper_default_overrides():
+    scenario = Scenario.paper_default(num_nodes=50, seed=7,
+                                      transmission_range=200.0)
+    assert scenario.num_nodes == 50
+    assert scenario.seed == 7
+    assert scenario.transmission_range == 200.0
+
+
+def test_invalid_values_rejected():
+    with pytest.raises(ValueError):
+        Scenario(num_nodes=0)
+    with pytest.raises(ValueError):
+        Scenario(transmission_range=0)
+    with pytest.raises(ValueError):
+        Scenario(depart_fraction=2.0)
+    with pytest.raises(ValueError):
+        Scenario(abrupt_probability=-0.5)

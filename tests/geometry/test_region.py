@@ -1,0 +1,65 @@
+"""Unit and property tests for the simulation region."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry import Point, Region
+
+
+def test_contains_boundaries():
+    region = Region(100, 50)
+    assert region.contains(Point(0, 0))
+    assert region.contains(Point(100, 50))
+    assert not region.contains(Point(100.1, 10))
+    assert not region.contains(Point(-0.1, 10))
+
+
+def test_invalid_dimensions_raise():
+    with pytest.raises(ValueError):
+        Region(0, 10)
+    with pytest.raises(ValueError):
+        Region(10, -1)
+
+
+def test_clamp_projects_outside_points():
+    region = Region(100, 100)
+    assert region.clamp(Point(-5, 50)) == Point(0, 50)
+    assert region.clamp(Point(150, 120)) == Point(100, 100)
+    assert region.clamp(Point(30, 40)) == Point(30, 40)
+
+
+def test_random_point_inside():
+    region = Region(1000, 1000)
+    rng = random.Random(1)
+    for _ in range(100):
+        assert region.contains(region.random_point(rng))
+
+
+def test_random_point_deterministic():
+    region = Region(1000, 1000)
+    a = region.random_point(random.Random(7))
+    b = region.random_point(random.Random(7))
+    assert a == b
+
+
+def test_random_point_near_stays_inside_and_near():
+    region = Region(1000, 1000)
+    rng = random.Random(3)
+    center = Point(50, 50)  # near a corner: candidates may fall outside
+    for _ in range(50):
+        p = region.random_point_near(center, 100, rng)
+        assert region.contains(p)
+        assert abs(p.x - center.x) <= 100 + 1e-9
+        assert abs(p.y - center.y) <= 100 + 1e-9
+
+
+@given(
+    st.floats(min_value=1, max_value=1e4),
+    st.floats(min_value=1, max_value=1e4),
+    st.integers(min_value=0, max_value=2**32 - 1),
+)
+def test_random_point_always_contained(w, h, seed):
+    region = Region(w, h)
+    assert region.contains(region.random_point(random.Random(seed)))

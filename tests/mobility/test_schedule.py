@@ -1,0 +1,83 @@
+"""Unit tests for arrival/departure plan generation."""
+
+import random
+
+import pytest
+
+from repro.geometry import Point, Region
+from repro.mobility import build_plans
+
+
+def make(num=20, **kw):
+    return build_plans(num, Region(1000, 1000), random.Random(1), **kw)
+
+
+def test_one_plan_per_node_with_increasing_times():
+    plans = make(num=30)
+    assert len(plans) == 30
+    times = [p.arrival.time for p in plans]
+    assert times == sorted(times)
+    assert all(t > 0 for t in times)
+
+
+def test_node_ids_sequential():
+    plans = make(num=10)
+    assert [p.arrival.node_id for p in plans] == list(range(10))
+
+
+def test_no_departures_by_default():
+    assert all(p.departure is None for p in make())
+
+
+def test_depart_fraction_counts():
+    plans = make(num=40, depart_fraction=0.5)
+    departing = [p for p in plans if p.departure is not None]
+    assert len(departing) == 20
+
+
+def test_departures_after_last_arrival():
+    plans = make(num=20, depart_fraction=1.0, depart_after=5.0,
+                 depart_window=10.0)
+    last_arrival = plans[-1].arrival.time
+    for plan in plans:
+        assert plan.departure is not None
+        assert last_arrival + 5.0 <= plan.departure.time <= last_arrival + 15.0
+
+
+def test_abrupt_probability_extremes():
+    all_abrupt = make(num=30, depart_fraction=1.0, abrupt_probability=1.0)
+    assert all(p.departure.abrupt for p in all_abrupt)
+    none_abrupt = make(num=30, depart_fraction=1.0, abrupt_probability=0.0)
+    assert not any(p.departure.abrupt for p in none_abrupt)
+
+
+def test_hotspot_clusters_positions():
+    hotspot = Point(200, 200)
+    plans = build_plans(
+        30, Region(1000, 1000), random.Random(2),
+        hotspot=hotspot, hotspot_radius=50.0,
+    )
+    for plan in plans:
+        assert abs(plan.arrival.position.x - 200) <= 50 + 1e-9
+        assert abs(plan.arrival.position.y - 200) <= 50 + 1e-9
+
+
+def test_positions_inside_region():
+    region = Region(500, 300)
+    plans = build_plans(50, region, random.Random(3))
+    assert all(region.contains(p.arrival.position) for p in plans)
+
+
+def test_invalid_fractions_raise():
+    with pytest.raises(ValueError):
+        make(depart_fraction=1.5)
+    with pytest.raises(ValueError):
+        make(depart_fraction=0.5, abrupt_probability=-0.1)
+
+
+def test_deterministic_for_same_rng_seed():
+    a = build_plans(20, Region(1000, 1000), random.Random(9),
+                    depart_fraction=0.4, abrupt_probability=0.3)
+    b = build_plans(20, Region(1000, 1000), random.Random(9),
+                    depart_fraction=0.4, abrupt_probability=0.3)
+    assert a == b

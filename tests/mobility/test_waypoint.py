@@ -1,0 +1,92 @@
+"""Unit and property tests for random-waypoint mobility."""
+
+import math
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry import Point, Region, distance
+from repro.mobility import RandomWaypoint, Stationary
+
+
+def make_model(speed=20.0, start_time=0.0, seed=1):
+    return RandomWaypoint(
+        Region(1000, 1000), Point(500, 500), speed,
+        random.Random(seed), start_time=start_time,
+    )
+
+
+def test_position_before_start_is_origin():
+    model = make_model(start_time=10.0)
+    assert model.position(0.0) == Point(500, 500)
+    assert model.position(10.0) == Point(500, 500)
+
+
+def test_zero_speed_never_moves():
+    model = make_model(speed=0.0)
+    assert model.position(100.0) == Point(500, 500)
+
+
+def test_speed_accessor():
+    assert make_model(speed=20.0).speed() == 20.0
+    assert Stationary(Point(0, 0)).speed() == 0.0
+
+
+def test_positions_stay_in_region():
+    model = make_model()
+    region = Region(1000, 1000)
+    for t in range(0, 500, 7):
+        assert region.contains(model.position(float(t)))
+
+
+def test_movement_respects_speed_limit():
+    model = make_model(speed=20.0)
+    prev = model.position(0.0)
+    for step in range(1, 200):
+        t = step * 0.5
+        cur = model.position(t)
+        assert distance(prev, cur) <= 20.0 * 0.5 + 1e-6
+        prev = cur
+
+
+def test_trajectory_is_deterministic():
+    a = make_model(seed=5)
+    b = make_model(seed=5)
+    for t in (1.0, 10.0, 100.0):
+        assert a.position(t) == b.position(t)
+
+
+def test_non_monotone_queries_consistent():
+    model = make_model()
+    late = model.position(50.0)
+    early = model.position(10.0)
+    assert model.position(50.0) == late
+    assert model.position(10.0) == early
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=10_000),
+    st.floats(min_value=0.5, max_value=50.0),
+    st.floats(min_value=0.0, max_value=300.0),
+)
+def test_position_always_in_region(seed, speed, t):
+    model = RandomWaypoint(
+        Region(1000, 1000), Point(100, 900), speed,
+        random.Random(seed),
+    )
+    p = model.position(t)
+    assert 0 <= p.x <= 1000 and 0 <= p.y <= 1000
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=10_000),
+    st.floats(min_value=1.0, max_value=40.0),
+)
+def test_displacement_bounded_by_speed(seed, speed):
+    model = RandomWaypoint(
+        Region(1000, 1000), Point(500, 500), speed, random.Random(seed))
+    p1 = model.position(10.0)
+    p2 = model.position(14.0)
+    assert distance(p1, p2) <= speed * 4.0 + 1e-6

@@ -1,0 +1,73 @@
+"""Unit tests for the shared network context."""
+
+from repro.geometry import Point
+from repro.mobility.base import Stationary
+from repro.net import Node
+from repro.net.context import NetworkContext
+
+
+class FakeAgent:
+    def __init__(self, ctx, node, allocator=False, configured=False):
+        self.node = node
+        self._allocator = allocator
+        self._configured = configured
+        node.agent = self
+        ctx.register(self)
+
+    def is_allocator(self):
+        return self._allocator
+
+    def is_configured(self):
+        return self._configured
+
+
+def make_ctx():
+    return NetworkContext.build(seed=1, transmission_range=150.0)
+
+
+def add(ctx, node_id, allocator=False, configured=False):
+    node = Node(node_id, Stationary(Point(node_id * 50.0, 0)))
+    ctx.topology.add_node(node)
+    return FakeAgent(ctx, node, allocator, configured)
+
+
+def test_register_and_lookup():
+    ctx = make_ctx()
+    agent = add(ctx, 1)
+    assert ctx.agent_of(1) is agent
+    assert ctx.node_of(1) is agent.node
+    ctx.unregister(1)
+    assert ctx.agent_of(1) is None
+
+
+def test_ip_registry():
+    ctx = make_ctx()
+    add(ctx, 1)
+    ctx.bind_ip(42, 1)
+    assert ctx.resolve_ip(42) == 1
+    ctx.unbind_ip(42)
+    assert ctx.resolve_ip(42) is None
+
+
+def test_is_head_requires_alive_allocator():
+    ctx = make_ctx()
+    agent = add(ctx, 1, allocator=True)
+    assert ctx.is_head(1)
+    agent.node.kill()
+    assert not ctx.is_head(1)
+    assert not ctx.is_head(99)
+
+
+def test_is_configured():
+    ctx = make_ctx()
+    add(ctx, 1, configured=True)
+    add(ctx, 2, configured=False)
+    assert ctx.is_configured(1)
+    assert not ctx.is_configured(2)
+
+
+def test_build_wires_components():
+    ctx = make_ctx()
+    assert ctx.transport.topology is ctx.topology
+    assert ctx.transport.stats is ctx.stats
+    assert ctx.hello.topology is ctx.topology

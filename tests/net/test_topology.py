@@ -1,0 +1,136 @@
+"""Unit tests for the unit-disk topology and hop-count queries."""
+
+import pytest
+
+from repro.geometry import Point
+from repro.mobility import RandomWaypoint
+from repro.mobility.base import Stationary
+from repro.net import Node, Topology
+from repro.sim import Simulator
+
+
+def make_topology(positions, tr=150.0, seed=1):
+    sim = Simulator(seed=seed)
+    topo = Topology(sim, transmission_range=tr)
+    for i, (x, y) in enumerate(positions):
+        topo.add_node(Node(i, Stationary(Point(x, y))))
+    return sim, topo
+
+
+def test_edges_respect_range():
+    _, topo = make_topology([(0, 0), (100, 0), (300, 0)])
+    g = topo.graph()
+    assert g.has_edge(0, 1)
+    assert not g.has_edge(0, 2)
+    assert not g.has_edge(1, 2)
+
+
+def test_edge_at_exact_range():
+    _, topo = make_topology([(0, 0), (150, 0)])
+    assert topo.graph().has_edge(0, 1)
+
+
+def test_hops_along_chain():
+    _, topo = make_topology([(0, 0), (120, 0), (240, 0), (360, 0)])
+    assert topo.hops(0, 0) == 0
+    assert topo.hops(0, 1) == 1
+    assert topo.hops(0, 3) == 3
+    assert topo.hops(3, 0) == 3
+
+
+def test_hops_unreachable_is_none():
+    _, topo = make_topology([(0, 0), (1000, 1000)])
+    assert topo.hops(0, 1) is None
+
+
+def test_neighbors():
+    _, topo = make_topology([(0, 0), (100, 0), (200, 0)])
+    assert sorted(topo.neighbors(1)) == [0, 2]
+    assert topo.neighbors(0) == [1]
+    assert topo.neighbors(99) == []
+
+
+def test_within_hops():
+    _, topo = make_topology([(0, 0), (120, 0), (240, 0), (360, 0)])
+    assert sorted(topo.within_hops(0, 2)) == [(1, 1), (2, 2)]
+
+
+def test_reachable_includes_self():
+    _, topo = make_topology([(0, 0), (120, 0)])
+    reachable = topo.reachable(0)
+    assert reachable[0] == 0
+    assert reachable[1] == 1
+
+
+def test_eccentricity():
+    _, topo = make_topology([(0, 0), (120, 0), (240, 0)])
+    assert topo.eccentricity_from(0) == 2
+    assert topo.eccentricity_from(1) == 1
+
+
+def test_components():
+    _, topo = make_topology([(0, 0), (100, 0), (900, 900), (950, 900)])
+    components = sorted(topo.components(), key=min)
+    assert components == [{0, 1}, {2, 3}]
+
+
+def test_same_partition():
+    _, topo = make_topology([(0, 0), (100, 0), (900, 900)])
+    assert topo.same_partition([0, 1])
+    assert not topo.same_partition([0, 2])
+    assert topo.same_partition([0])
+
+
+def test_dead_nodes_excluded():
+    _, topo = make_topology([(0, 0), (100, 0), (200, 0)])
+    topo.get(1).kill()
+    topo.invalidate()
+    assert topo.hops(0, 2) is None  # relay died
+
+
+def test_remove_node():
+    _, topo = make_topology([(0, 0), (100, 0)])
+    topo.remove_node(topo.get(1))
+    assert topo.get(1) is None
+    assert topo.hops(0, 1) is None
+
+
+def test_duplicate_node_id_rejected():
+    _, topo = make_topology([(0, 0)])
+    with pytest.raises(ValueError):
+        topo.add_node(Node(0, Stationary(Point(1, 1))))
+
+
+def test_graph_refreshes_as_nodes_move():
+    sim = Simulator(seed=1)
+    topo = Topology(sim, transmission_range=150.0, refresh_interval=0.1)
+    import random
+
+    class Runner:
+        """Deterministic straight-line mover."""
+
+        def __init__(self, start, velocity):
+            self.start, self.velocity = start, velocity
+
+        def position(self, t):
+            return Point(self.start.x + self.velocity * t, self.start.y)
+
+    topo.add_node(Node(0, Stationary(Point(0, 0))))
+    topo.add_node(Node(1, Runner(Point(100, 0), 50.0)))
+    assert topo.hops(0, 1) == 1
+    sim.schedule(5.0, lambda: None)
+    sim.run()
+    # At t=5 the mover is at x=350: out of range.
+    assert topo.hops(0, 1) is None
+
+
+def test_invalid_range_rejected():
+    with pytest.raises(ValueError):
+        Topology(Simulator(), transmission_range=0)
+
+
+def test_bfs_cache_consistent_with_fresh_query():
+    _, topo = make_topology([(0, 0), (120, 0), (240, 0)])
+    first = topo.hops(0, 2)
+    second = topo.hops(0, 2)
+    assert first == second == 2

@@ -1,0 +1,96 @@
+"""Property-based tests of the unit-disk topology."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry import Point, distance
+from repro.mobility.base import Stationary
+from repro.net import Node, Topology
+from repro.sim import Simulator
+
+coordinates = st.tuples(
+    st.floats(min_value=0, max_value=1000, allow_nan=False),
+    st.floats(min_value=0, max_value=1000, allow_nan=False),
+)
+layouts = st.lists(coordinates, min_size=2, max_size=12)
+
+
+def build(positions, tr=200.0):
+    sim = Simulator(seed=1)
+    topo = Topology(sim, transmission_range=tr)
+    for i, (x, y) in enumerate(positions):
+        topo.add_node(Node(i, Stationary(Point(x, y))))
+    return topo
+
+
+@settings(max_examples=50, deadline=None)
+@given(layouts)
+def test_hops_symmetric(positions):
+    topo = build(positions)
+    n = len(positions)
+    for a in range(n):
+        for b in range(a + 1, n):
+            assert topo.hops(a, b) == topo.hops(b, a)
+
+
+@settings(max_examples=50, deadline=None)
+@given(layouts)
+def test_hops_lower_bounded_by_euclidean_distance(positions):
+    """k hops can cover at most k * tr meters."""
+    tr = 200.0
+    topo = build(positions, tr=tr)
+    for a in range(len(positions)):
+        for b, hops in topo.reachable(a).items():
+            if hops == 0:
+                continue
+            euclid = distance(Point(*positions[a]), Point(*positions[b]))
+            assert hops * tr >= euclid - 1e-6
+
+
+@settings(max_examples=50, deadline=None)
+@given(layouts)
+def test_triangle_inequality_on_hops(positions):
+    topo = build(positions)
+    n = len(positions)
+    for a in range(n):
+        for b in range(n):
+            for c in range(n):
+                ab, bc, ac = topo.hops(a, b), topo.hops(b, c), topo.hops(a, c)
+                if ab is not None and bc is not None:
+                    assert ac is not None
+                    assert ac <= ab + bc
+
+
+@settings(max_examples=50, deadline=None)
+@given(layouts)
+def test_components_partition_the_nodes(positions):
+    topo = build(positions)
+    components = topo.components()
+    union = set()
+    for component in components:
+        assert not (component & union)
+        union |= component
+    assert union == set(range(len(positions)))
+
+
+@settings(max_examples=50, deadline=None)
+@given(layouts)
+def test_reachability_matches_components(positions):
+    topo = build(positions)
+    for component in topo.components():
+        member = min(component)
+        assert set(topo.reachable(member)) == component
+
+
+@settings(max_examples=30, deadline=None)
+@given(layouts, st.integers(min_value=1, max_value=4))
+def test_within_hops_is_prefix_of_reachable(positions, k):
+    topo = build(positions)
+    for a in range(len(positions)):
+        within = dict(topo.within_hops(a, k))
+        reachable = topo.reachable(a)
+        for node, hops in within.items():
+            assert reachable[node] == hops
+            assert 0 < hops <= k
+        for node, hops in reachable.items():
+            if 0 < hops <= k:
+                assert node in within

@@ -1,0 +1,138 @@
+"""Unit tests for the message trace tap."""
+
+import pytest
+
+from repro.geometry import Point
+from repro.mobility.base import Stationary
+from repro.net import Category, Message, Node
+from repro.net.context import NetworkContext
+from repro.net.trace import MessageTrace
+
+
+class Sink:
+    def on_message(self, msg):
+        pass
+
+
+def make_net():
+    ctx = NetworkContext.build(seed=1, transmission_range=150.0)
+    nodes = []
+    for i in range(3):
+        node = Node(i, Stationary(Point(100 + 120 * i, 500)))
+        node.agent = Sink()
+        ctx.topology.add_node(node)
+        nodes.append(node)
+    return ctx, nodes
+
+
+def test_records_unicasts():
+    ctx, nodes = make_net()
+    trace = MessageTrace().attach(ctx.transport)
+    ctx.transport.unicast(nodes[0], nodes[2], Message("PING", 0, 2),
+                          Category.CONFIG)
+    ctx.sim.run()
+    trace.detach()
+    events = list(trace.unicasts())
+    assert len(events) == 1
+    event = events[0]
+    assert (event.mtype, event.src, event.dst, event.hops) == ("PING", 0, 2, 2)
+    assert event.category == "config"
+    assert event.delivered
+
+
+def test_records_floods():
+    ctx, nodes = make_net()
+    trace = MessageTrace().attach(ctx.transport)
+    ctx.transport.flood(nodes[0], Message("WAVE", 0, None),
+                        Category.RECLAMATION)
+    trace.detach()
+    floods = list(trace.floods())
+    assert len(floods) == 1
+    assert floods[0].mtype == "WAVE"
+    assert floods[0].dst is None
+
+
+def test_failed_unicast_recorded_as_undelivered():
+    ctx, nodes = make_net()
+    nodes[2].kill()
+    ctx.topology.invalidate()
+    trace = MessageTrace().attach(ctx.transport)
+    ctx.transport.unicast(nodes[0], nodes[2], Message("PING", 0, 2),
+                          Category.CONFIG)
+    trace.detach()
+    assert list(trace.unicasts(delivered_only=True)) == []
+    assert len(list(trace.unicasts(delivered_only=False))) == 1
+
+
+def test_mtype_filter():
+    ctx, nodes = make_net()
+    trace = MessageTrace(mtypes=["KEEP"]).attach(ctx.transport)
+    ctx.transport.unicast(nodes[0], nodes[1], Message("KEEP", 0, 1),
+                          Category.CONFIG)
+    ctx.transport.unicast(nodes[0], nodes[1], Message("DROP", 0, 1),
+                          Category.CONFIG)
+    trace.detach()
+    assert trace.message_types() == ["KEEP"]
+
+
+def test_detach_restores_transport():
+    ctx, nodes = make_net()
+    original = ctx.transport.unicast
+    trace = MessageTrace().attach(ctx.transport)
+    assert ctx.transport.unicast != original
+    trace.detach()
+    assert ctx.transport.unicast == original
+    # Sends after detach are not recorded.
+    ctx.transport.unicast(nodes[0], nodes[1], Message("PING", 0, 1),
+                          Category.CONFIG)
+    assert len(trace) == 0
+
+
+def test_double_attach_rejected():
+    ctx, _ = make_net()
+    trace = MessageTrace().attach(ctx.transport)
+    with pytest.raises(RuntimeError):
+        trace.attach(ctx.transport)
+    trace.detach()
+
+
+def test_between_query():
+    ctx, nodes = make_net()
+    trace = MessageTrace().attach(ctx.transport)
+    ctx.transport.unicast(nodes[0], nodes[1], Message("A", 0, 1),
+                          Category.CONFIG)
+    ctx.transport.unicast(nodes[1], nodes[0], Message("B", 1, 0),
+                          Category.CONFIG)
+    ctx.transport.unicast(nodes[0], nodes[2], Message("C", 0, 2),
+                          Category.CONFIG)
+    trace.detach()
+    assert [e.mtype for e in trace.between(0, 1)] == ["A", "B"]
+
+
+def test_context_manager_detaches():
+    ctx, nodes = make_net()
+    with MessageTrace().attach(ctx.transport) as trace:
+        ctx.transport.unicast(nodes[0], nodes[1], Message("A", 0, 1),
+                              Category.CONFIG)
+    assert len(trace) == 1
+    assert ctx.transport.unicast.__name__ != "traced_unicast"
+
+
+def test_limit_bounds_memory():
+    ctx, nodes = make_net()
+    trace = MessageTrace(limit=2).attach(ctx.transport)
+    for _ in range(5):
+        ctx.transport.unicast(nodes[0], nodes[1], Message("A", 0, 1),
+                              Category.CONFIG)
+    trace.detach()
+    assert len(trace) == 2
+
+
+def test_event_str_renders():
+    ctx, nodes = make_net()
+    trace = MessageTrace().attach(ctx.transport)
+    ctx.transport.unicast(nodes[0], nodes[1], Message("PING", 0, 1),
+                          Category.CONFIG)
+    trace.detach()
+    text = str(trace.events[0])
+    assert "PING" in text and "unicast" in text

@@ -1,0 +1,86 @@
+"""Unit and property tests for quorum systems (Definition 1)."""
+
+import itertools
+
+from hypothesis import given, strategies as st
+
+from repro.quorum import MajorityQuorumSystem, is_quorum_system
+
+
+def test_definition_one_accepts_intersecting_sets():
+    universe = {1, 2, 3}
+    assert is_quorum_system([{1, 2}, {2, 3}, {1, 3}], universe)
+
+
+def test_definition_one_rejects_disjoint_sets():
+    assert not is_quorum_system([{1}, {2}], {1, 2})
+
+
+def test_definition_one_rejects_sets_outside_universe():
+    assert not is_quorum_system([{1, 4}], {1, 2, 3})
+
+
+def test_definition_one_rejects_empty_family_and_empty_quorum():
+    assert not is_quorum_system([], {1, 2})
+    assert not is_quorum_system([set()], {1, 2})
+
+
+def test_paper_example_quorums():
+    """Section II-C's example: {1,2,3,4}, {1,2,3,5}, {2,3,4,5} over six
+    cluster heads."""
+    universe = {1, 2, 3, 4, 5, 6}
+    quorums = [{1, 2, 3, 4}, {1, 2, 3, 5}, {2, 3, 4, 5}]
+    assert is_quorum_system(quorums, universe)
+
+
+def test_majority_threshold():
+    system = MajorityQuorumSystem()
+    assert system.quorum_threshold(1) == 1
+    assert system.quorum_threshold(2) == 2
+    assert system.quorum_threshold(3) == 2
+    assert system.quorum_threshold(4) == 3
+    assert system.quorum_threshold(5) == 3
+
+
+def test_majority_half_is_not_quorum_for_even_universe():
+    """Section II-D: exactly half does not constitute a quorum."""
+    system = MajorityQuorumSystem()
+    assert not system.is_quorum({1, 2}, {1, 2, 3, 4})
+    assert system.is_quorum({1, 2, 3}, {1, 2, 3, 4})
+
+
+def test_responders_outside_universe_do_not_count():
+    system = MajorityQuorumSystem()
+    assert not system.is_quorum({7, 8, 9}, {1, 2, 3})
+    assert system.is_quorum({1, 2, 9}, {1, 2, 3})
+
+
+def test_minimal_quorums_form_a_quorum_system():
+    system = MajorityQuorumSystem()
+    universe = {1, 2, 3, 4, 5}
+    quorums = system.minimal_quorums(universe)
+    assert all(len(q) == 3 for q in quorums)
+    assert is_quorum_system(quorums, universe)
+
+
+@given(st.sets(st.integers(0, 30), min_size=1, max_size=8))
+def test_any_two_majorities_intersect(universe):
+    """The defining property: two majority quorums always share a node."""
+    system = MajorityQuorumSystem()
+    threshold = system.quorum_threshold(len(universe))
+    members = sorted(universe)
+    quorums = [set(c) for c in itertools.combinations(members, threshold)]
+    for a, b in itertools.combinations(quorums, 2):
+        assert a & b, f"disjoint majorities {a} and {b} in {universe}"
+
+
+@given(
+    st.sets(st.integers(0, 20), min_size=1, max_size=10),
+    st.sets(st.integers(0, 20), max_size=10),
+)
+def test_majority_is_monotone(universe, responders):
+    """Adding responders never destroys a quorum."""
+    system = MajorityQuorumSystem()
+    if system.is_quorum(responders, universe):
+        bigger = set(responders) | {max(universe)}
+        assert system.is_quorum(bigger, universe)

@@ -1,0 +1,149 @@
+"""Unit tests for generator-based processes."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.process import Process, Timeout, Waiter, run_process
+
+
+def test_timeout_advances_clock():
+    sim = Simulator()
+    log = []
+
+    def script():
+        log.append(sim.now)
+        yield Timeout(5.0)
+        log.append(sim.now)
+
+    Process(sim, script())
+    sim.run()
+    assert log == [0.0, 5.0]
+
+
+def test_process_result_and_finished_waiter():
+    sim = Simulator()
+
+    def script():
+        yield Timeout(1.0)
+        return 42
+
+    process = Process(sim, script())
+    sim.run()
+    assert process.result == 42
+    assert not process.alive
+    assert process.finished.triggered
+
+
+def test_waiter_delivers_value():
+    sim = Simulator()
+    waiter = Waiter()
+    received = []
+
+    def script():
+        value = yield waiter
+        received.append(value)
+
+    Process(sim, script())
+    sim.schedule(3.0, waiter.trigger, "hello")
+    sim.run()
+    assert received == ["hello"]
+
+
+def test_waiter_already_triggered_resumes_immediately():
+    sim = Simulator()
+    waiter = Waiter()
+    waiter.trigger("early")
+    received = []
+
+    def script():
+        value = yield waiter
+        received.append((value, sim.now))
+
+    Process(sim, script())
+    sim.run()
+    assert received == [("early", 0.0)]
+
+
+def test_waiter_trigger_is_one_shot():
+    waiter = Waiter()
+    waiter.trigger(1)
+    waiter.trigger(2)
+    assert waiter.value == 1
+
+
+def test_multiple_processes_on_one_waiter():
+    sim = Simulator()
+    waiter = Waiter()
+    received = []
+
+    def script(name):
+        value = yield waiter
+        received.append((name, value))
+
+    Process(sim, script("a"))
+    Process(sim, script("b"))
+    sim.schedule(1.0, waiter.trigger, "go")
+    sim.run()
+    assert sorted(received) == [("a", "go"), ("b", "go")]
+
+
+def test_interrupt_stops_process():
+    sim = Simulator()
+    log = []
+
+    def script():
+        log.append("start")
+        yield Timeout(10.0)
+        log.append("never")
+
+    process = Process(sim, script())
+    sim.run(until=1.0)
+    process.interrupt()
+    sim.run()
+    assert log == ["start"]
+    assert not process.alive
+
+
+def test_yielding_garbage_raises():
+    sim = Simulator()
+
+    def script():
+        yield "not a timeout"
+
+    Process(sim, script())
+    with pytest.raises(TypeError):
+        sim.run()
+
+
+def test_negative_timeout_rejected():
+    with pytest.raises(ValueError):
+        Timeout(-1.0)
+
+
+def test_run_process_helper():
+    sim = Simulator()
+
+    def script():
+        yield Timeout(2.0)
+        return "done"
+
+    assert run_process(sim, script()) == "done"
+
+
+def test_chained_processes():
+    sim = Simulator()
+    order = []
+
+    def first():
+        yield Timeout(1.0)
+        order.append("first")
+        return "payload"
+
+    def second(dep):
+        value = yield dep.finished
+        order.append(("second", value))
+
+    process = Process(sim, first())
+    Process(sim, second(process))
+    sim.run()
+    assert order == ["first", ("second", "payload")]
