@@ -9,13 +9,43 @@ wall-clock time is reported by pytest-benchmark as a bonus.
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 from typing import Any, Callable, Dict, Optional
 
 from repro.experiments import format_series
 from repro.experiments.export import write_series_csv, write_series_json
+from repro.experiments.sweep import (
+    WORKERS_ENV,
+    CACHE_ENV,
+    SweepExecutor,
+    set_default_executor,
+)
 
 ARTIFACTS = Path(__file__).parent / "artifacts"
+
+
+def pytest_configure(config) -> None:
+    """Opt-in parallel figure regeneration.
+
+    ``REPRO_SWEEP_WORKERS=N`` fans each figure's per-seed runs out over
+    N worker processes; ``REPRO_SWEEP_CACHE=DIR`` (default
+    ``benchmarks/.sweep_cache`` when workers are enabled) persists run
+    results so re-benchmarking only executes missing cells.  Unset, the
+    benchmarks run exactly the serial path CI measures — per-run
+    deterministic seeding makes both paths bit-identical anyway.
+    """
+    workers_env = os.environ.get(WORKERS_ENV, "").strip()
+    if not workers_env:
+        return
+    cache_dir = (os.environ.get(CACHE_ENV, "").strip()
+                 or str(Path(__file__).parent / ".sweep_cache"))
+    set_default_executor(SweepExecutor(
+        workers=int(workers_env), cache_dir=cache_dir))
+
+
+def pytest_unconfigure(config) -> None:
+    set_default_executor(None)
 
 
 def run_figure(benchmark, fn: Callable[[], Dict[str, Any]],

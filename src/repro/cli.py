@@ -1,15 +1,18 @@
 """Command-line interface.
 
-Four subcommands::
+Five subcommands::
 
     python -m repro run      --protocol quorum --nodes 100 --seed 1
     python -m repro compare  --nodes 80 --seed 1
-    python -m repro figure   fig05            # any figNN or table1
+    python -m repro figure   fig05 --workers 4  # any figNN or table1
+    python -m repro sweep    --protocols quorum manetconf --nodes 50 100
     python -m repro layout   --nodes 100      # Fig. 4-style ASCII map
 
 ``run`` prints the quickstart-style report for one protocol; ``compare``
 tabulates all protocols on the same workload; ``figure`` regenerates a
-paper figure's series; ``layout`` draws the clustered network.
+paper figure's series (optionally fanned out over worker processes);
+``sweep`` runs an explicit (protocol x size x seed) grid through the
+parallel executor; ``layout`` draws the clustered network.
 """
 
 from __future__ import annotations
@@ -27,6 +30,12 @@ from repro.experiments import (
 )
 from repro.experiments.report import format_layout
 from repro.experiments.runner import PROTOCOLS
+from repro.experiments.sweep import (
+    SweepExecutor,
+    derive_seeds,
+    expand_grid,
+    set_default_executor,
+)
 
 FIGURES = {
     "fig05": figures.fig05_latency_vs_size,
@@ -76,6 +85,34 @@ def build_parser() -> argparse.ArgumentParser:
     fig_p = sub.add_parser("figure", help="regenerate a paper figure")
     fig_p.add_argument("name", choices=sorted(FIGURES) + ["table1", "fig04"])
     fig_p.add_argument("--seeds", type=int, nargs="+", default=[1])
+    fig_p.add_argument("--workers", type=int, default=None,
+                       help="worker processes for the figure's runs "
+                            "(default: serial; 0 = os.cpu_count())")
+    fig_p.add_argument("--cache", default=None, metavar="DIR",
+                       help="cache run results under DIR; re-running "
+                            "the figure only executes missing cells")
+
+    sw_p = sub.add_parser(
+        "sweep", help="run a (protocol x size x seed) grid in parallel")
+    sw_p.add_argument("--protocols", nargs="+", default=["quorum"],
+                      choices=sorted(PROTOCOLS), metavar="PROTO")
+    sw_p.add_argument("--nodes", type=int, nargs="+", default=[50, 100],
+                      help="network sizes to sweep")
+    sw_p.add_argument("--seeds", type=int, nargs="+", default=None,
+                      help="explicit seeds (default: derive --replicates "
+                           "seeds from --master-seed)")
+    sw_p.add_argument("--replicates", type=int, default=2,
+                      help="seeds per cell when --seeds is not given")
+    sw_p.add_argument("--master-seed", type=int, default=0,
+                      help="master seed the per-replicate seeds derive from")
+    sw_p.add_argument("--tr", type=float, default=150.0)
+    sw_p.add_argument("--speed", type=float, default=20.0)
+    sw_p.add_argument("--settle", type=float, default=30.0)
+    sw_p.add_argument("--workers", type=int, default=None,
+                      help="worker processes (default: REPRO_SWEEP_WORKERS "
+                           "or os.cpu_count(); 1 = serial)")
+    sw_p.add_argument("--cache", default=None, metavar="DIR",
+                      help="cache run results under DIR")
 
     lay_p = sub.add_parser("layout", help="draw a Fig. 4-style layout")
     lay_p.add_argument("--nodes", type=int, default=100)
@@ -135,7 +172,20 @@ def cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _install_executor(workers: Optional[int],
+                      cache: Optional[str]) -> None:
+    """Point the figure functions' default executor at the CLI flags."""
+    if workers is None and cache is None:
+        return  # leave the env-configured (or serial) default in place
+    if workers == 0:
+        import os
+        workers = os.cpu_count() or 1
+    set_default_executor(SweepExecutor(
+        workers=workers if workers is not None else 1, cache_dir=cache))
+
+
 def cmd_figure(args: argparse.Namespace) -> int:
+    _install_executor(args.workers, args.cache)
     if args.name == "table1":
         outcome = figures.table1_message_exchange()
         print(outcome["title"])
@@ -147,6 +197,50 @@ def cmd_figure(args: argparse.Namespace) -> int:
         return 0
     result = FIGURES[args.name](seeds=tuple(args.seeds))
     print(format_series(result))
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    seeds = (tuple(args.seeds) if args.seeds is not None
+             else derive_seeds(args.master_seed, args.replicates))
+    scenarios = [
+        Scenario.paper_default(
+            num_nodes=n, seed=seed, transmission_range=args.tr,
+            speed_mps=args.speed, settle_time=args.settle)
+        for n in args.nodes for seed in seeds
+    ]
+    specs = expand_grid(args.protocols, scenarios)
+
+    def progress(done: int, total: int, spec) -> None:
+        print(f"\r[{done}/{total}] {spec.protocol} "
+              f"nn={spec.scenario.num_nodes} seed={spec.scenario.seed}    ",
+              end="", file=sys.stderr, flush=True)
+
+    executor = SweepExecutor(
+        workers=args.workers, cache_dir=args.cache, progress=progress)
+    report = executor.run(specs)
+    print(file=sys.stderr)
+
+    rows = []
+    for spec, result, elapsed, hit in zip(
+            report.specs, report.results, report.durations, report.cached):
+        rows.append([
+            spec.protocol, spec.scenario.num_nodes, spec.scenario.seed,
+            f"{100 * result.configuration_success_rate():.0f} %",
+            round(result.avg_config_latency_hops(), 1),
+            round(result.config_overhead_per_node(), 1),
+            "hit" if hit else f"{elapsed:.2f}s",
+        ])
+    print(format_table(
+        ["protocol", "nodes", "seed", "configured", "latency (hops)",
+         "config hops/node", "run"], rows))
+    counts = report.stats.snapshot()
+    print(f"\n{len(specs)} cells, workers={executor.workers}, "
+          f"wall clock {report.wall_clock_s:.2f}s; "
+          f"executed={counts.get('executed', 0)} "
+          f"cache_hits={counts.get('cache_hit', 0)} "
+          f"failed={counts.get('failed', 0)} "
+          f"({100 * report.cache_hit_rate():.0f} % cached)")
     return 0
 
 
@@ -164,6 +258,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "run": cmd_run,
         "compare": cmd_compare,
         "figure": cmd_figure,
+        "sweep": cmd_sweep,
         "layout": cmd_layout,
     }
     return handlers[args.command](args)

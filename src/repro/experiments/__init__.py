@@ -5,9 +5,17 @@ evaluation (Section VI).
 
 from repro.experiments.scenario import Scenario
 from repro.experiments.metrics import DeathRecord, RunResult
-from repro.experiments.runner import ScenarioRunner, run_scenario
+from repro.experiments.runner import ScenarioRunner, run_scenario, run_specs
 from repro.experiments import figures
 from repro.experiments.report import format_series, format_table
+from repro.experiments.sweep import (
+    RunCache,
+    RunSpec,
+    SweepExecutor,
+    SweepReport,
+    derive_seeds,
+    expand_grid,
+)
 
 __all__ = [
     "Scenario",
@@ -15,7 +23,14 @@ __all__ = [
     "DeathRecord",
     "ScenarioRunner",
     "run_scenario",
+    "run_specs",
     "figures",
     "format_series",
     "format_table",
+    "RunSpec",
+    "RunCache",
+    "SweepExecutor",
+    "SweepReport",
+    "derive_seeds",
+    "expand_grid",
 ]

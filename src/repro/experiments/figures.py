@@ -16,6 +16,7 @@ from repro.core.config import ProtocolConfig
 from repro.experiments.metrics import RunResult
 from repro.experiments.runner import ScenarioRunner
 from repro.experiments.scenario import Scenario
+from repro.experiments.sweep import sweep_over_seeds
 
 DEFAULT_SIZES = (50, 100, 150, 200)
 DEFAULT_RANGES = (100.0, 150.0, 200.0, 250.0)
@@ -39,11 +40,16 @@ def _sweep_over_seeds(
     seeds: Sequence[int],
     protocol_config: Optional[Any] = None,
 ) -> Tuple[float, float]:
-    """(mean, sample std) of ``metric`` over per-seed runs."""
-    values = []
-    for seed in seeds:
-        runner = ScenarioRunner(make_scenario(seed), protocol, protocol_config)
-        values.append(metric(runner.run()))
+    """(mean, sample std) of ``metric`` over per-seed runs.
+
+    Runs route through :func:`repro.experiments.sweep.sweep_over_seeds`,
+    i.e. the process-wide default executor: serial and uncached unless
+    ``REPRO_SWEEP_WORKERS`` / ``REPRO_SWEEP_CACHE`` (or
+    ``sweep.set_default_executor``) say otherwise.  Per-run seeding
+    makes the parallel path bit-identical to the serial one.
+    """
+    results = sweep_over_seeds(make_scenario, protocol, seeds, protocol_config)
+    values = [metric(result) for result in results]
     mean = statistics.mean(values)
     std = statistics.stdev(values) if len(values) > 1 else 0.0
     return mean, std

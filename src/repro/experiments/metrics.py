@@ -178,3 +178,29 @@ class RunResult:
     def uniqueness_ok(self) -> bool:
         """Address uniqueness: no two alive nodes share (network, ip)."""
         return self.duplicate_addresses == 0
+
+    # ------------------------------------------------------------------
+    # Serialization (the sweep executor's on-disk cache format)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict:
+        """A JSON-safe dict that :meth:`from_dict` restores exactly.
+
+        ``from_dict(to_dict(r)) == r`` — the round-trip is lossless, so
+        a cache hit in :mod:`repro.experiments.sweep` is
+        indistinguishable from re-running the simulation.
+        """
+        payload = dataclasses.asdict(self)
+        payload["graceful_ids"] = sorted(self.graceful_ids)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "RunResult":
+        """Rebuild a :class:`RunResult` written by :meth:`to_dict`."""
+        data = dict(payload)
+        data["outcomes"] = [NodeOutcome(**o) for o in data["outcomes"]]
+        data["deaths"] = [
+            DeathRecord(**{**d, "qdset_members": tuple(d["qdset_members"])})
+            for d in data["deaths"]
+        ]
+        data["graceful_ids"] = frozenset(data["graceful_ids"])
+        return cls(**data)

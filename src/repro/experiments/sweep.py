@@ -1,0 +1,428 @@
+"""Parallel sweep executor with deterministic seeding and a run cache.
+
+The paper's evaluation is a grid: seven protocols x several scenario
+axes (network size, transmission range, speed, departure mix) x seeds.
+Every cell is an independent simulation, which makes the whole grid
+embarrassingly parallel — as long as parallel execution cannot change
+what any one cell computes.  Two properties guarantee that here:
+
+* **Deterministic seeding.**  A cell's randomness derives entirely from
+  its :class:`~repro.experiments.scenario.Scenario` seed (see
+  :func:`repro.sim.rng.spawn_key` and :func:`derive_seeds` for deriving
+  those from a sweep master seed), never from execution order, worker
+  identity or wall clock.  A parallel sweep is therefore bit-identical
+  to the serial one.
+
+* **Content-addressed caching.**  A :class:`RunSpec` hashes to a stable
+  key over its full parameter set; :class:`RunCache` stores the
+  serialized :class:`~repro.experiments.metrics.RunResult` under that
+  key.  Re-running a figure only executes the missing cells; a
+  corrupted or unreadable entry silently falls back to re-running.
+
+Typical use::
+
+    from repro.experiments.sweep import RunSpec, SweepExecutor
+
+    specs = [RunSpec(protocol=p, scenario=sc)
+             for p in ("quorum", "manetconf") for sc in scenarios]
+    report = SweepExecutor(workers=8, cache_dir="~/.repro-cache").run(specs)
+    for spec, result in zip(specs, report.results):
+        print(spec.protocol, result.avg_config_latency_hops())
+    print(report.stats.snapshot())   # scheduled/executed/cached/failed
+
+Figure functions route through the process-wide default executor
+(:func:`default_executor`), which stays serial and uncached unless the
+``REPRO_SWEEP_WORKERS`` / ``REPRO_SWEEP_CACHE`` environment variables —
+or :func:`set_default_executor` — say otherwise, so tests and CI remain
+deterministic and dependency-free by default.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+from typing import (
+    Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union,
+)
+
+from repro.experiments.metrics import RunResult
+from repro.experiments.scenario import Scenario
+from repro.net.stats import Counters
+from repro.sim.rng import spawn_key
+
+CACHE_FORMAT_VERSION = 1
+
+#: Environment knobs (read once per :func:`default_executor` rebuild).
+WORKERS_ENV = "REPRO_SWEEP_WORKERS"
+CACHE_ENV = "REPRO_SWEEP_CACHE"
+
+
+# ---------------------------------------------------------------------------
+# Run specifications
+# ---------------------------------------------------------------------------
+@dataclasses.dataclass(frozen=True)
+class RunSpec:
+    """One cell of a sweep: a protocol driven through a scenario.
+
+    The spec is the *complete* input of a simulation run — protocol
+    name, every scenario field, every protocol-config field — so its
+    content hash (:meth:`key`) is a sound cache key: equal keys mean
+    equal :class:`RunResult`.
+    """
+
+    protocol: str
+    scenario: Scenario
+    protocol_config: Optional[Any] = None
+    count_hello_cost: bool = False
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-safe description of every run parameter."""
+        config = self.protocol_config
+        return {
+            "protocol": self.protocol,
+            "scenario": dataclasses.asdict(self.scenario),
+            "config_class": type(config).__name__ if config is not None else None,
+            "config": dataclasses.asdict(config) if config is not None else None,
+            "count_hello_cost": self.count_hello_cost,
+        }
+
+    def key(self) -> str:
+        """Stable content hash of the spec (hex, 16 bytes).
+
+        Canonical JSON with sorted keys, so field ordering and dict
+        iteration order cannot perturb the key across processes or
+        Python versions.
+        """
+        canonical = json.dumps(self.to_dict(), sort_keys=True, default=repr)
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:32]
+
+
+def derive_seeds(master_seed: int, count: int,
+                 label: str = "sweep") -> Tuple[int, ...]:
+    """``count`` per-replicate seeds derived from one sweep master seed.
+
+    Uses :func:`repro.sim.rng.spawn_key`, so seed ``i`` depends only on
+    ``(master_seed, label, i)`` — stable across runs, machines and
+    worker scheduling.  Seeds are folded into 31 bits to stay friendly
+    to every consumer (``random.Random`` takes anything, but small
+    positive ints read better in artifacts and CLI output).
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    return tuple(
+        spawn_key(master_seed, label, i) % (2 ** 31) for i in range(count)
+    )
+
+
+def expand_grid(
+    protocols: Sequence[str],
+    scenarios: Sequence[Scenario],
+    configs: Optional[Dict[str, Any]] = None,
+) -> List[RunSpec]:
+    """The full cross product ``protocols x scenarios`` as RunSpecs.
+
+    ``configs`` optionally maps a protocol name to the protocol config
+    its cells should use (protocols not in the map run their default).
+    Order is deterministic: scenarios vary fastest, protocols slowest —
+    the same order a serial nested loop would visit.
+    """
+    configs = configs or {}
+    return [
+        RunSpec(protocol=protocol, scenario=scenario,
+                protocol_config=configs.get(protocol))
+        for protocol in protocols
+        for scenario in scenarios
+    ]
+
+
+def execute_spec(spec: RunSpec) -> RunResult:
+    """Run one spec to completion (the unit of work a worker executes).
+
+    Module-level (not a method) so it pickles cleanly into
+    :class:`concurrent.futures.ProcessPoolExecutor` workers.
+    """
+    from repro.experiments.runner import ScenarioRunner
+
+    return ScenarioRunner(
+        spec.scenario, spec.protocol, spec.protocol_config,
+        count_hello_cost=spec.count_hello_cost,
+    ).run()
+
+
+def _execute_timed(spec: RunSpec) -> Tuple[RunResult, float]:
+    start = time.perf_counter()
+    result = execute_spec(spec)
+    return result, time.perf_counter() - start
+
+
+# ---------------------------------------------------------------------------
+# On-disk result cache
+# ---------------------------------------------------------------------------
+class RunCache:
+    """Content-addressed on-disk store of serialized RunResults.
+
+    One JSON file per run spec, named by :meth:`RunSpec.key`.  Writes
+    go through a temp file + rename so a killed sweep never leaves a
+    half-written entry under a valid key.  Any unreadable, unparsable
+    or version-mismatched entry is treated as a miss (and counted, so
+    sweeps can report it) — the executor then simply re-runs the cell.
+    """
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root).expanduser()
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, spec: RunSpec) -> Path:
+        return self.root / f"{spec.key()}.json"
+
+    def get(self, spec: RunSpec) -> Optional[RunResult]:
+        """The cached result for ``spec``, or None on miss/corruption."""
+        path = self.path_for(spec)
+        try:
+            payload = json.loads(path.read_text())
+            if payload.get("version") != CACHE_FORMAT_VERSION:
+                return None
+            return RunResult.from_dict(payload["result"])
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError, KeyError, TypeError):
+            # Corrupted entry: drop it so the rewrite after the re-run
+            # restores a clean cache.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+
+    def put(self, spec: RunSpec, result: RunResult,
+            elapsed: Optional[float] = None) -> Path:
+        """Store ``result`` under ``spec``'s key; returns the file path."""
+        path = self.path_for(spec)
+        payload = {
+            "version": CACHE_FORMAT_VERSION,
+            "spec": spec.to_dict(),
+            "result": result.to_dict(),
+            "elapsed_s": elapsed,
+        }
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(payload))
+        tmp.replace(path)
+        return path
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*.json"))
+
+
+# ---------------------------------------------------------------------------
+# The executor
+# ---------------------------------------------------------------------------
+@dataclasses.dataclass
+class SweepReport:
+    """Everything a sweep produced, cell-aligned with the input specs."""
+
+    specs: List[RunSpec]
+    results: List[RunResult]
+    durations: List[float]          # seconds of compute; 0.0 for cache hits
+    cached: List[bool]              # True where the cache supplied the cell
+    stats: Counters                 # scheduled / executed / cache_hit / ...
+    wall_clock_s: float = 0.0
+
+    def cache_hit_rate(self) -> float:
+        """Fraction of cells served from cache (0.0 with no cells)."""
+        return (sum(self.cached) / len(self.cached)) if self.cached else 0.0
+
+
+class SweepExecutor:
+    """Fans RunSpecs out over worker processes, with caching.
+
+    Args:
+        workers: process count.  ``None`` reads ``REPRO_SWEEP_WORKERS``,
+            falling back to ``os.cpu_count()``; ``0`` or ``1`` runs
+            serially in-process (no pool, no pickling) — the mode CI
+            and the tier-1 tests use.
+        cache_dir: where to persist results.  ``None`` reads
+            ``REPRO_SWEEP_CACHE``; if that is unset too, runs are not
+            cached.
+        progress: optional callback ``(done, total, spec)`` invoked
+            after every cell completes (executed or cache hit).
+
+    Determinism: each cell's randomness is fully determined by its spec
+    (see the module docstring), and results are returned in spec order
+    regardless of completion order, so ``run(specs)`` is bit-identical
+    for any worker count.
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        cache_dir: Optional[Union[str, Path]] = None,
+        progress: Optional[Callable[[int, int, RunSpec], None]] = None,
+    ) -> None:
+        if workers is None:
+            env = os.environ.get(WORKERS_ENV, "").strip()
+            workers = int(env) if env else (os.cpu_count() or 1)
+        if workers < 0:
+            raise ValueError("workers must be non-negative")
+        self.workers = workers
+        if cache_dir is None:
+            cache_dir = os.environ.get(CACHE_ENV, "").strip() or None
+        self.cache = RunCache(cache_dir) if cache_dir is not None else None
+        self.progress = progress
+        self.stats = Counters()
+
+    # ------------------------------------------------------------------
+    def run(self, specs: Sequence[RunSpec]) -> SweepReport:
+        """Execute every spec (or serve it from cache); specs order kept."""
+        specs = list(specs)
+        started = time.perf_counter()
+        total = len(specs)
+        self.stats.incr("scheduled", total)
+
+        results: List[Optional[RunResult]] = [None] * total
+        durations: List[float] = [0.0] * total
+        cached: List[bool] = [False] * total
+
+        pending: List[int] = []
+        done = 0
+        for i, spec in enumerate(specs):
+            hit = self.cache.get(spec) if self.cache is not None else None
+            if hit is not None:
+                results[i] = hit
+                cached[i] = True
+                self.stats.incr("cache_hit")
+                done += 1
+                self._report(done, total, spec)
+            else:
+                if self.cache is not None:
+                    self.stats.incr("cache_miss")
+                pending.append(i)
+
+        if pending:
+            if self.workers > 1:
+                done = self._run_parallel(
+                    specs, pending, results, durations, done, total)
+            else:
+                done = self._run_serial(
+                    specs, pending, results, durations, done, total)
+
+        report = SweepReport(
+            specs=specs,
+            results=[r for r in results if r is not None],
+            durations=durations,
+            cached=cached,
+            stats=self.stats,
+            wall_clock_s=time.perf_counter() - started,
+        )
+        if len(report.results) != total:
+            # _run_* raise on failure, so this is purely defensive.
+            raise RuntimeError("sweep lost results for some specs")
+        return report
+
+    def map_metric(self, specs: Sequence[RunSpec],
+                   metric: Callable[[RunResult], float]) -> List[float]:
+        """``[metric(result) for result in run(specs).results]``.
+
+        The shape figure code wants: the metric closure stays in the
+        parent process (closures don't pickle), only specs and results
+        cross the process boundary.
+        """
+        return [metric(result) for result in self.run(specs).results]
+
+    # ------------------------------------------------------------------
+    def _run_serial(self, specs, pending, results, durations,
+                    done: int, total: int) -> int:
+        for i in pending:
+            results[i], durations[i] = self._execute_one(specs[i])
+            done += 1
+            self._report(done, total, specs[i])
+        return done
+
+    def _run_parallel(self, specs, pending, results, durations,
+                      done: int, total: int) -> int:
+        workers = min(self.workers, len(pending))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                i: pool.submit(_execute_timed, specs[i]) for i in pending
+            }
+            for i in pending:
+                try:
+                    results[i], durations[i] = futures[i].result()
+                except Exception:
+                    self.stats.incr("failed")
+                    raise
+                self.stats.incr("executed")
+                if self.cache is not None:
+                    self.cache.put(specs[i], results[i], durations[i])
+                done += 1
+                self._report(done, total, specs[i])
+        return done
+
+    def _execute_one(self, spec: RunSpec) -> Tuple[RunResult, float]:
+        try:
+            result, elapsed = _execute_timed(spec)
+        except Exception:
+            self.stats.incr("failed")
+            raise
+        self.stats.incr("executed")
+        if self.cache is not None:
+            self.cache.put(spec, result, elapsed)
+        return result, elapsed
+
+    def _report(self, done: int, total: int, spec: RunSpec) -> None:
+        if self.progress is not None:
+            self.progress(done, total, spec)
+
+
+# ---------------------------------------------------------------------------
+# Process-wide default executor (what the figure functions use)
+# ---------------------------------------------------------------------------
+_default_executor: Optional[SweepExecutor] = None
+
+
+def default_executor() -> SweepExecutor:
+    """The executor figure sweeps route through.
+
+    Unless configured via :func:`set_default_executor` or the
+    ``REPRO_SWEEP_WORKERS`` / ``REPRO_SWEEP_CACHE`` environment
+    variables, this is a serial, uncached executor — exactly the
+    behavior the pre-sweep serial loops had, keeping tests and CI
+    deterministic with zero extra processes.
+    """
+    global _default_executor
+    if _default_executor is None:
+        env = os.environ.get(WORKERS_ENV, "").strip()
+        workers = int(env) if env else 1
+        _default_executor = SweepExecutor(workers=workers)
+    return _default_executor
+
+
+def set_default_executor(executor: Optional[SweepExecutor]) -> None:
+    """Install (or with ``None`` reset) the process-wide executor."""
+    global _default_executor
+    _default_executor = executor
+
+
+def sweep_over_seeds(
+    make_scenario: Callable[[int], Scenario],
+    protocol: str,
+    seeds: Iterable[int],
+    protocol_config: Optional[Any] = None,
+    executor: Optional[SweepExecutor] = None,
+) -> List[RunResult]:
+    """Per-seed results for one (curve, x-value) cell of a figure.
+
+    The bridge between the per-figure functions (which think in "this
+    scenario, these seeds") and the executor (which thinks in specs).
+    """
+    specs = [
+        RunSpec(protocol=protocol, scenario=make_scenario(seed),
+                protocol_config=protocol_config)
+        for seed in seeds
+    ]
+    executor = executor if executor is not None else default_executor()
+    return executor.run(specs).results

@@ -63,3 +63,33 @@ def test_unknown_figure_rejected():
 def test_invalid_protocol_rejected():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["run", "--protocol", "pigeon"])
+
+
+def test_sweep_runs_grid_and_reports_stats(capsys, tmp_path):
+    argv = ["sweep", "--protocols", "quorum", "dad", "--nodes", "12",
+            "--seeds", "1", "--speed", "0", "--settle", "5",
+            "--workers", "1", "--cache", str(tmp_path)]
+    code = main(argv)
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "quorum" in out and "dad" in out
+    assert "executed=2" in out and "cache_hits=0" in out
+
+    code = main(argv)  # second invocation: everything cached
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "executed=0" in out and "cache_hits=2" in out
+    assert "(100 % cached)" in out
+
+
+def test_figure_accepts_workers_and_cache(capsys, tmp_path):
+    from repro.experiments.sweep import set_default_executor
+    try:
+        code = main(["figure", "fig05", "--seeds", "1",
+                     "--workers", "1", "--cache", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Fig. 5" in out
+        assert list(tmp_path.glob("*.json"))  # runs were cached
+    finally:
+        set_default_executor(None)

@@ -1,0 +1,211 @@
+"""The parallel sweep executor: determinism, caching, failure paths."""
+
+import json
+
+import pytest
+
+from repro.core.config import ProtocolConfig
+from repro.experiments import Scenario, figures, run_specs
+from repro.experiments.metrics import RunResult
+from repro.experiments.sweep import (
+    RunCache,
+    RunSpec,
+    SweepExecutor,
+    derive_seeds,
+    execute_spec,
+    expand_grid,
+    set_default_executor,
+    sweep_over_seeds,
+)
+
+
+def tiny(seed=1, **kw):
+    kw.setdefault("num_nodes", 12)
+    kw.setdefault("settle_time", 5.0)
+    kw.setdefault("speed_mps", 0.0)
+    return Scenario.paper_default(seed=seed, **kw)
+
+
+def tiny_specs(protocols=("quorum", "dad"), seeds=(1, 2)):
+    return expand_grid(list(protocols), [tiny(seed=s) for s in seeds])
+
+
+@pytest.fixture(autouse=True)
+def _reset_default_executor():
+    yield
+    set_default_executor(None)
+
+
+# ---------------------------------------------------------------------------
+# Spec keys
+# ---------------------------------------------------------------------------
+def test_spec_key_stable():
+    assert RunSpec("quorum", tiny()).key() == RunSpec("quorum", tiny()).key()
+
+
+def test_spec_key_covers_every_input():
+    base = RunSpec("quorum", tiny())
+    assert base.key() != RunSpec("dad", tiny()).key()
+    assert base.key() != RunSpec("quorum", tiny(seed=2)).key()
+    assert base.key() != RunSpec("quorum", tiny(num_nodes=13)).key()
+    assert base.key() != RunSpec(
+        "quorum", tiny(), ProtocolConfig(borrowing_enabled=False)).key()
+    assert base.key() != RunSpec("quorum", tiny(), count_hello_cost=True).key()
+
+
+# ---------------------------------------------------------------------------
+# RunResult serialization round-trip (the cache's correctness anchor)
+# ---------------------------------------------------------------------------
+def test_runresult_json_roundtrip_is_lossless():
+    result = execute_spec(RunSpec(
+        "quorum", tiny(num_nodes=20, depart_fraction=0.3,
+                       abrupt_probability=0.5, speed_mps=20.0,
+                       settle_time=20.0)))
+    assert result.deaths or result.graceful_departures  # exercise both lists
+    restored = RunResult.from_dict(json.loads(json.dumps(result.to_dict())))
+    assert restored == result
+
+
+# ---------------------------------------------------------------------------
+# Determinism: serial == parallel, cell for cell
+# ---------------------------------------------------------------------------
+def test_parallel_sweep_identical_to_serial():
+    specs = tiny_specs()
+    serial = SweepExecutor(workers=1).run(specs)
+    parallel = SweepExecutor(workers=2).run(specs)
+    assert serial.results == parallel.results
+    assert parallel.stats.get("executed") == len(specs)
+
+
+def test_figure_identical_serial_vs_parallel():
+    kwargs = dict(sizes=(12, 16), seeds=(1, 2), transmission_range=150.0)
+    set_default_executor(SweepExecutor(workers=1))
+    serial = figures.fig05_latency_vs_size(**kwargs)
+    set_default_executor(SweepExecutor(workers=2))
+    parallel = figures.fig05_latency_vs_size(**kwargs)
+    # Byte-identical metric output, not merely approximately equal.
+    assert json.dumps(serial, sort_keys=True) == json.dumps(
+        parallel, sort_keys=True)
+
+
+def test_derived_seeds_stable_and_distinct():
+    assert derive_seeds(0, 3) == derive_seeds(0, 3)
+    assert len(set(derive_seeds(0, 8))) == 8
+    assert derive_seeds(0, 3) != derive_seeds(1, 3)
+    assert derive_seeds(0, 3, "a") != derive_seeds(0, 3, "b")
+
+
+def test_results_keep_spec_order():
+    specs = tiny_specs(protocols=("dad", "quorum", "weakdad"), seeds=(1,))
+    report = SweepExecutor(workers=3).run(specs)
+    assert [r.protocol for r in report.results] == [
+        s.protocol for s in specs]
+
+
+# ---------------------------------------------------------------------------
+# Caching
+# ---------------------------------------------------------------------------
+def test_cache_hit_returns_without_executing(tmp_path, monkeypatch):
+    specs = tiny_specs(protocols=("quorum",), seeds=(1, 2))
+    first = SweepExecutor(workers=1, cache_dir=tmp_path).run(specs)
+    assert first.stats.get("executed") == 2
+
+    # Re-running must not execute at all: poison the execution path.
+    import repro.experiments.sweep as sweep_mod
+    def boom(spec):
+        raise AssertionError("cache hit must not execute the simulation")
+    monkeypatch.setattr(sweep_mod, "execute_spec", boom)
+
+    again = SweepExecutor(workers=1, cache_dir=tmp_path)
+    second = again.run(specs)
+    assert second.results == first.results
+    assert second.cached == [True, True]
+    assert second.cache_hit_rate() == 1.0
+    assert again.stats.get("cache_hit") == 2
+    assert again.stats.get("executed") == 0
+
+
+def test_cached_results_equal_fresh_ones(tmp_path):
+    specs = tiny_specs()
+    fresh = SweepExecutor(workers=2, cache_dir=tmp_path / "a").run(specs)
+    SweepExecutor(workers=2, cache_dir=tmp_path / "b").run(specs)
+    cached = SweepExecutor(workers=1, cache_dir=tmp_path / "b").run(specs)
+    assert cached.results == fresh.results
+    assert all(cached.cached)
+
+
+def test_corrupted_cache_entry_falls_back_to_rerun(tmp_path):
+    specs = tiny_specs(protocols=("quorum",), seeds=(1,))
+    executor = SweepExecutor(workers=1, cache_dir=tmp_path)
+    first = executor.run(specs)
+
+    cache = RunCache(tmp_path)
+    cache.path_for(specs[0]).write_text("{ not json")
+    rerun = SweepExecutor(workers=1, cache_dir=tmp_path).run(specs)
+    assert rerun.cached == [False]
+    assert rerun.results == first.results
+    # ...and the re-run healed the entry.
+    healed = SweepExecutor(workers=1, cache_dir=tmp_path).run(specs)
+    assert healed.cached == [True]
+
+
+def test_version_mismatch_treated_as_miss(tmp_path):
+    specs = tiny_specs(protocols=("dad",), seeds=(1,))
+    SweepExecutor(workers=1, cache_dir=tmp_path).run(specs)
+    cache = RunCache(tmp_path)
+    path = cache.path_for(specs[0])
+    payload = json.loads(path.read_text())
+    payload["version"] = 999
+    path.write_text(json.dumps(payload))
+    assert cache.get(specs[0]) is None
+
+
+# ---------------------------------------------------------------------------
+# Failures and plumbing
+# ---------------------------------------------------------------------------
+def test_failing_run_raises_and_counts():
+    bad = RunSpec("carrier-pigeon", tiny())
+    executor = SweepExecutor(workers=1)
+    with pytest.raises(ValueError):
+        executor.run([bad])
+    assert executor.stats.get("failed") == 1
+
+
+def test_failing_run_raises_in_parallel_mode():
+    executor = SweepExecutor(workers=2)
+    with pytest.raises(ValueError):
+        executor.run([RunSpec("carrier-pigeon", tiny()),
+                      RunSpec("quorum", tiny())])
+    assert executor.stats.get("failed") == 1
+
+
+def test_progress_callback_sees_every_cell(tmp_path):
+    seen = []
+    specs = tiny_specs(protocols=("quorum",), seeds=(1, 2))
+    SweepExecutor(workers=1, cache_dir=tmp_path,
+                  progress=lambda d, t, s: seen.append((d, t))).run(specs)
+    assert seen == [(1, 2), (2, 2)]
+
+
+def test_run_specs_convenience_matches_executor():
+    specs = tiny_specs(protocols=("quorum",), seeds=(1,))
+    assert run_specs(specs, workers=1) == SweepExecutor(
+        workers=1).run(specs).results
+
+
+def test_sweep_over_seeds_matches_direct_runs():
+    results = sweep_over_seeds(
+        lambda seed: tiny(seed=seed), "quorum", (1, 2),
+        executor=SweepExecutor(workers=1))
+    direct = [execute_spec(RunSpec("quorum", tiny(seed=s))) for s in (1, 2)]
+    assert results == direct
+
+
+def test_expand_grid_order_and_configs():
+    scenarios = [tiny(seed=1), tiny(seed=2)]
+    cfg = ProtocolConfig(merge_detection_enabled=False)
+    specs = expand_grid(["quorum", "dad"], scenarios, configs={"quorum": cfg})
+    assert [(s.protocol, s.scenario.seed) for s in specs] == [
+        ("quorum", 1), ("quorum", 2), ("dad", 1), ("dad", 2)]
+    assert specs[0].protocol_config is cfg
+    assert specs[2].protocol_config is None

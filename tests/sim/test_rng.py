@@ -1,6 +1,6 @@
 """Unit tests for named random streams."""
 
-from repro.sim.rng import RandomStreams, derive_seed
+from repro.sim.rng import RandomStreams, derive_seed, spawn_key
 
 
 def test_same_name_returns_same_stream():
@@ -43,3 +43,23 @@ def test_fork_is_deterministic_and_independent():
     assert child1.get("m").random() == child2.get("m").random()
     other = parent.fork("run-2")
     assert other.get("m").random() != child1.get("m").random()
+
+
+def test_spawn_key_depends_only_on_master_and_path():
+    assert spawn_key(0, "fig05", "quorum", 3) == spawn_key(
+        0, "fig05", "quorum", 3)
+    assert spawn_key(0, "fig05", "quorum", 3) != spawn_key(
+        1, "fig05", "quorum", 3)
+    assert spawn_key(0, "fig05", "quorum", 3) != spawn_key(
+        0, "fig05", "quorum", 4)
+
+
+def test_spawn_key_distinguishes_part_types_and_boundaries():
+    assert spawn_key(0, 1) != spawn_key(0, "1")
+    assert spawn_key(0, "ab", "c") != spawn_key(0, "a", "bc")
+
+
+def test_spawn_registry_matches_spawn_key():
+    child = RandomStreams(7).spawn("cell", 2)
+    direct = RandomStreams(spawn_key(7, "cell", 2))
+    assert child.get("x").random() == direct.get("x").random()
