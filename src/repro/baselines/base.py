@@ -15,7 +15,7 @@ from repro.net.context import NetworkContext
 from repro.net.message import Message
 from repro.net.node import Node
 from repro.net.stats import Category
-from repro.net.transport import Delivery
+from repro.net.transport import Scope, SendOutcome
 from repro.sim.timers import Timer
 
 
@@ -55,20 +55,22 @@ class BaseAutoconfAgent:
 
     # ------------------------------------------------------------------
     def _send(self, dst_id: int, mtype: str, payload: Dict[str, Any],
-              category: Category) -> Delivery:
+              category: Category) -> SendOutcome:
         dst = self.ctx.node_of(dst_id)
         if dst is None:
-            return Delivery(False, 0)
+            return SendOutcome.failure()
         msg = Message(mtype=mtype, src=self.node_id, dst=dst_id,
                       payload=payload, network_id=self.network_id)
-        return self.ctx.transport.unicast(self.node, dst, msg, category)
+        return self.ctx.transport.send(self.node, dst, msg,
+                                       category=category)
 
     def _flood(self, mtype: str, payload: Dict[str, Any], category: Category,
-               max_hops: Optional[int] = None):
+               max_hops: Optional[int] = None) -> SendOutcome:
         msg = Message(mtype=mtype, src=self.node_id, dst=None,
                       payload=payload, network_id=self.network_id)
-        return self.ctx.transport.flood(self.node, msg, category,
-                                        max_hops=max_hops)
+        return self.ctx.transport.send(self.node, None, msg,
+                                       category=category, scope=Scope.FLOOD,
+                                       max_hops=max_hops)
 
     def _nearest_configured(self, max_hops: Optional[int] = None
                             ) -> Optional[Tuple[int, int]]:

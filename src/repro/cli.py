@@ -28,6 +28,7 @@ from repro.experiments import (
     format_table,
     run_scenario,
 )
+from repro.experiments.builder import ScenarioBuilder
 from repro.experiments.report import format_layout
 from repro.experiments.runner import PROTOCOLS
 from repro.experiments.sweep import (
@@ -36,6 +37,7 @@ from repro.experiments.sweep import (
     expand_grid,
     set_default_executor,
 )
+from repro.faults import FaultSpec
 
 FIGURES = {
     "fig05": figures.fig05_latency_vs_size,
@@ -48,6 +50,7 @@ FIGURES = {
     "fig12": figures.fig12_ip_space_extension,
     "fig13": figures.fig13_information_loss,
     "fig14": figures.fig14_reclamation_overhead,
+    "robustness": figures.robustness_vs_loss,
 }
 
 
@@ -73,6 +76,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="probability a departure is abrupt")
         p.add_argument("--settle", type=float, default=30.0,
                        help="extra simulated seconds after the last event")
+        add_faults_arg(p)
+
+    def add_faults_arg(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--faults", default=None, metavar="SPEC",
+                       help="fault-injection spec, e.g. "
+                            "'loss=0.1,delay=0.02,crash=7@40-70,"
+                            "cut=1+2@50-80' (see repro.faults)")
 
     run_p = sub.add_parser("run", help="run one protocol, print a report")
     add_scenario_args(run_p)
@@ -91,6 +101,7 @@ def build_parser() -> argparse.ArgumentParser:
     fig_p.add_argument("--cache", default=None, metavar="DIR",
                        help="cache run results under DIR; re-running "
                             "the figure only executes missing cells")
+    add_faults_arg(fig_p)
 
     sw_p = sub.add_parser(
         "sweep", help="run a (protocol x size x seed) grid in parallel")
@@ -113,6 +124,7 @@ def build_parser() -> argparse.ArgumentParser:
                            "or os.cpu_count(); 1 = serial)")
     sw_p.add_argument("--cache", default=None, metavar="DIR",
                       help="cache run results under DIR")
+    add_faults_arg(sw_p)
 
     lay_p = sub.add_parser("layout", help="draw a Fig. 4-style layout")
     lay_p.add_argument("--nodes", type=int, default=100)
@@ -122,12 +134,21 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def scenario_from(args: argparse.Namespace) -> Scenario:
-    return Scenario.paper_default(
-        num_nodes=args.nodes, seed=args.seed,
-        transmission_range=args.tr, speed_mps=args.speed,
-        depart_fraction=args.depart, abrupt_probability=args.abrupt,
-        settle_time=args.settle,
-    )
+    return (ScenarioBuilder()
+            .nodes(args.nodes)
+            .seed(args.seed)
+            .range(args.tr)
+            .speed(args.speed)
+            .departures(fraction=args.depart, abrupt=args.abrupt)
+            .settle(args.settle)
+            .build())
+
+
+def install_faults(args: argparse.Namespace) -> None:
+    """Wire the ``--faults`` spec string into every scenario built."""
+    spec = getattr(args, "faults", None)
+    ScenarioBuilder.set_default_faults(
+        FaultSpec.parse(spec) if spec else None)
 
 
 def cmd_run(args: argparse.Namespace) -> int:
@@ -148,6 +169,10 @@ def cmd_run(args: argparse.Namespace) -> int:
     ]
     rows += [[f"hops: {k}", v] for k, v in sorted(result.stats_hops.items())
              if v]
+    rows += [[f"fault drops: {k}", v]
+             for k, v in sorted(result.stats_drops.items())]
+    rows += [[f"event: {k}", v] for k, v in sorted(result.events.items())
+             if k.startswith("fault_")]
     print(f"protocol: {args.protocol}  nodes: {args.nodes}  "
           f"seed: {args.seed}")
     print(format_table(["metric", "value"], rows))
@@ -204,9 +229,9 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     seeds = (tuple(args.seeds) if args.seeds is not None
              else derive_seeds(args.master_seed, args.replicates))
     scenarios = [
-        Scenario.paper_default(
-            num_nodes=n, seed=seed, transmission_range=args.tr,
-            speed_mps=args.speed, settle_time=args.settle)
+        ScenarioBuilder()
+        .nodes(n).seed(seed).range(args.tr).speed(args.speed)
+        .settle(args.settle).build()
         for n in args.nodes for seed in seeds
     ]
     specs = expand_grid(args.protocols, scenarios)
@@ -254,6 +279,7 @@ def cmd_layout(args: argparse.Namespace) -> int:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    install_faults(args)
     handlers = {
         "run": cmd_run,
         "compare": cmd_compare,
@@ -261,7 +287,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         "sweep": cmd_sweep,
         "layout": cmd_layout,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    finally:
+        # The --faults default is process-global; don't leak it into
+        # library callers that invoke main() programmatically.
+        ScenarioBuilder.set_default_faults(None)
 
 
 if __name__ == "__main__":

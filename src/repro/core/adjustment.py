@@ -127,6 +127,7 @@ class AdjustmentMixin:
         if member not in self.head.qdset or member in self._td_timers:
             return
         self.head.qdset.suspect(member)
+        self.ctx.events.incr("quorum_suspect")
         timer = Timer(self.ctx.sim, self._on_td_expire)
         timer.start(self.cfg.td, member)
         self._td_timers[member] = timer
@@ -168,7 +169,9 @@ class AdjustmentMixin:
         # replica until reclamation decides the member is truly gone.
         if self._majority_reachable():
             self.head.qdset.remove(member)
+            self.ctx.events.incr("quorum_shrink")
         self._send(member, m.REP_REQ, {}, Category.MAINTENANCE)
+        self.ctx.events.incr("quorum_probe")
         timer = Timer(self.ctx.sim, self._on_tr_expire)
         timer.start(self.cfg.tr, member)
         self._tr_timers[member] = timer

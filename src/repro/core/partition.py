@@ -29,6 +29,7 @@ from repro.core import messages as m
 from repro.core.state import HeadState
 from repro.net.message import Message
 from repro.net.stats import Category
+from repro.net.transport import Scope
 from repro.sim.timers import PeriodicTimer
 
 ISOLATION_STRIKES = 4   # consecutive audits without a quorum majority
@@ -290,7 +291,9 @@ class PartitionMixin:
             # (heads included) must reconfigure against the new network.
             msg = Message(mtype=m.MERGE_JOIN, src=self.node_id, dst=None,
                           payload={}, network_id=self.network_id)
-            self.ctx.transport.flood(self.node, msg, Category.PARTITION)
+            self.ctx.transport.send(self.node, None, msg,
+                                    category=Category.PARTITION,
+                                    scope=Scope.FLOOD)
         else:
             # Isolated head: only our own configured members are around.
             for _address, holder in sorted(old_members.items()):

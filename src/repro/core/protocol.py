@@ -35,7 +35,7 @@ from repro.net.context import NetworkContext
 from repro.net.message import Message
 from repro.net.node import Node
 from repro.net.stats import Category
-from repro.net.transport import Delivery
+from repro.net.transport import Scope, SendOutcome
 from repro.quorum.linear import DynamicLinearVoting
 from repro.quorum.replica import Replica
 from repro.quorum.system import MajorityQuorumSystem
@@ -139,13 +139,14 @@ class QuorumProtocolAgent(
         mtype: str,
         payload: Dict[str, Any],
         category: Category,
-    ) -> Delivery:
+    ) -> SendOutcome:
         dst = self.ctx.node_of(dst_id)
         if dst is None:
-            return Delivery(False, 0)
+            return SendOutcome.failure()
         msg = Message(mtype=mtype, src=self.node_id, dst=dst_id,
                       payload=payload, network_id=self.network_id)
-        return self.ctx.transport.unicast(self.node, dst, msg, category)
+        return self.ctx.transport.send(self.node, dst, msg,
+                                       category=category)
 
     def _send_with_retry(self, dst_id: int, mtype: str,
                          payload: Dict[str, Any], category: Category,
@@ -256,7 +257,9 @@ class QuorumProtocolAgent(
         msg = Message(mtype=m.INIT_REQ, src=self.node_id, dst=None,
                       payload={"entered_at": self.entered_at},
                       network_id=self.network_id)
-        self.ctx.transport.broadcast_1hop(self.node, msg, Category.CONFIG)
+        self.ctx.transport.send(self.node, None, msg,
+                                category=Category.CONFIG,
+                                scope=Scope.NEIGHBORS)
         if self._init_rounds >= self.cfg.max_r:
             self._become_first_head()
         else:

@@ -35,6 +35,7 @@ from typing import Dict, List, Optional, Set, Tuple
 from repro.core import messages as m
 from repro.net.message import Message
 from repro.net.stats import Category
+from repro.net.transport import Scope
 from repro.addrspace.records import AddressRecord, AddressStatus
 from repro.sim.timers import Timer
 
@@ -90,10 +91,11 @@ class ReclamationMixin:
             "dead_ip": dead_ip,
             "initiator": self.node_id,
         }, network_id=self.network_id)
-        self.ctx.transport.flood(
-            self.node, msg, Category.RECLAMATION,
-            max_hops=self.cfg.reclamation_radius,
+        self.ctx.transport.send(
+            self.node, None, msg, category=Category.RECLAMATION,
+            scope=Scope.FLOOD, max_hops=self.cfg.reclamation_radius,
         )
+        self.ctx.events.incr("reclamation_initiated")
         timer = Timer(self.ctx.sim, self._conclude_reclamation)
         timer.start(self.cfg.reclamation_window, dead_id)
         self._reclaim_timers[dead_id] = timer
@@ -345,7 +347,9 @@ class ReclamationMixin:
             "owner_id": self.node_id,
             "owner_ip": self.head.ip,
         }, network_id=self.network_id)
-        self.ctx.transport.flood(self.node, msg, Category.RECLAMATION)
+        self.ctx.transport.send(self.node, None, msg,
+                                category=Category.RECLAMATION,
+                                scope=Scope.FLOOD)
         timer = Timer(self.ctx.sim, self._conclude_self_audit)
         timer.start(self.cfg.reclamation_window)
         self._self_audit_timer = timer

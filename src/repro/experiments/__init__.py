@@ -4,6 +4,7 @@ evaluation (Section VI).
 """
 
 from repro.experiments.scenario import Scenario
+from repro.experiments.builder import ScenarioBuilder, paper_scenario, scenario_grid
 from repro.experiments.metrics import DeathRecord, RunResult
 from repro.experiments.runner import ScenarioRunner, run_scenario, run_specs
 from repro.experiments import figures
@@ -19,6 +20,9 @@ from repro.experiments.sweep import (
 
 __all__ = [
     "Scenario",
+    "ScenarioBuilder",
+    "paper_scenario",
+    "scenario_grid",
     "RunResult",
     "DeathRecord",
     "ScenarioRunner",

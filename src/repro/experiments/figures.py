@@ -13,10 +13,12 @@ import statistics
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.config import ProtocolConfig
+from repro.experiments.builder import paper_scenario
 from repro.experiments.metrics import RunResult
 from repro.experiments.runner import ScenarioRunner
 from repro.experiments.scenario import Scenario
 from repro.experiments.sweep import sweep_over_seeds
+from repro.faults import FaultSpec, crash_schedule
 
 DEFAULT_SIZES = (50, 100, 150, 200)
 DEFAULT_RANGES = (100.0, 150.0, 200.0, 250.0)
@@ -110,7 +112,7 @@ def fig04_layout(num_nodes: int = 100, seed: int = 1,
     # Fig. 4 shows a uniformly random layout, so arrivals here are not
     # connectivity-biased (at nn = 100, tr = 150 m the uniform network
     # is dense enough to be essentially one component anyway).
-    scenario = Scenario.paper_default(
+    scenario = paper_scenario(
         num_nodes=num_nodes, seed=seed, speed_mps=0.0, settle_time=10.0,
         transmission_range=transmission_range,
         connected_arrivals=False,
@@ -151,7 +153,7 @@ def fig05_latency_vs_size(
 ) -> Dict[str, Any]:
     """Config latency (hops) vs network size: quorum vs MANETconf."""
     def scenario_for(n: int) -> Callable[[int], Scenario]:
-        return lambda seed: Scenario.paper_default(
+        return lambda seed: paper_scenario(
             num_nodes=n, seed=seed, transmission_range=transmission_range,
             settle_time=10.0,
         )
@@ -179,7 +181,7 @@ def fig06_latency_vs_range(
 ) -> Dict[str, Any]:
     """Config latency vs transmission range: quorum vs MANETconf."""
     def scenario_for(tr: float) -> Callable[[int], Scenario]:
-        return lambda seed: Scenario.paper_default(
+        return lambda seed: paper_scenario(
             num_nodes=num_nodes, seed=seed, transmission_range=tr,
             settle_time=10.0,
         )
@@ -208,7 +210,7 @@ def fig07_latency_grid(
         for n in sizes:
             builder.add(
                 label,
-                lambda seed, n=n, tr=tr: Scenario.paper_default(
+                lambda seed, n=n, tr=tr: paper_scenario(
                     num_nodes=n, seed=seed, transmission_range=tr,
                     settle_time=10.0),
                 "quorum", metric, seeds, quorum_cfg())
@@ -230,7 +232,7 @@ def fig08_config_overhead(
     table synchronization; our replica distribution), per Section VI-C.
     """
     def scenario_for(n: int) -> Callable[[int], Scenario]:
-        return lambda seed: Scenario.paper_default(
+        return lambda seed: paper_scenario(
             num_nodes=n, seed=seed, settle_time=20.0)
 
     def metric(result: RunResult) -> float:
@@ -253,7 +255,7 @@ def fig09_departure_overhead(
 ) -> Dict[str, Any]:
     """Departure message hops per graceful departure: quorum vs Buddy."""
     def scenario_for(n: int) -> Callable[[int], Scenario]:
-        return lambda seed: Scenario.paper_default(
+        return lambda seed: paper_scenario(
             num_nodes=n, seed=seed, depart_fraction=depart_fraction,
             abrupt_probability=0.0, depart_window=60.0, settle_time=20.0)
 
@@ -287,7 +289,7 @@ def fig10_maintenance_overhead(
     ours with upon-leave update only, and the C-tree scheme.
     """
     def scenario_for(n: int) -> Callable[[int], Scenario]:
-        return lambda seed: Scenario.paper_default(
+        return lambda seed: paper_scenario(
             num_nodes=n, seed=seed, speed_mps=speed,
             depart_fraction=depart_fraction, depart_window=60.0,
             settle_time=30.0)
@@ -324,7 +326,7 @@ def fig11_movement_vs_speed(
 ) -> Dict[str, Any]:
     """Location-update hops per node vs node speed (nn = 150)."""
     def scenario_for(speed: float) -> Callable[[int], Scenario]:
-        return lambda seed: Scenario.paper_default(
+        return lambda seed: paper_scenario(
             num_nodes=num_nodes, seed=seed, speed_mps=speed,
             settle_time=60.0)
 
@@ -362,7 +364,7 @@ def fig12_ip_space_extension(
         for tr in ranges:
             builder.add(
                 label,
-                lambda seed, n=n, tr=tr: Scenario.paper_default(
+                lambda seed, n=n, tr=tr: paper_scenario(
                     num_nodes=n, seed=seed, transmission_range=tr,
                     settle_time=20.0),
                 "quorum", metric, seeds, quorum_cfg())
@@ -393,7 +395,7 @@ def fig13_information_loss(
     root and unreported-allocation loss rather than fragment roots.
     """
     def scenario_for(ratio: float) -> Callable[[int], Scenario]:
-        return lambda seed: Scenario.paper_default(
+        return lambda seed: paper_scenario(
             num_nodes=num_nodes, seed=seed,
             depart_fraction=depart_fraction, abrupt_probability=ratio,
             depart_window=5.0, settle_time=30.0,
@@ -426,7 +428,7 @@ def fig14_reclamation_overhead(
 ) -> Dict[str, Any]:
     """Reclamation message hops per abrupt departure: quorum vs C-tree."""
     def scenario_for(n: int) -> Callable[[int], Scenario]:
-        return lambda seed: Scenario.paper_default(
+        return lambda seed: paper_scenario(
             num_nodes=n, seed=seed, depart_fraction=depart_fraction,
             abrupt_probability=abrupt_probability, depart_window=60.0,
             settle_time=60.0)
@@ -439,6 +441,75 @@ def fig14_reclamation_overhead(
         builder.add("ctree", scenario_for(n), "ctree", metric, seeds)
     return _result("Fig. 14 — reclamation overhead vs network size",
                    "nodes", "hops per abrupt departure", sizes,
+                   builder.series, builder.stds)
+
+
+# ---------------------------------------------------------------------------
+# Robustness — protocol behavior under injected faults (beyond the paper)
+# ---------------------------------------------------------------------------
+def robustness_vs_loss(
+    loss_rates: Sequence[float] = (0.0, 0.05, 0.1, 0.2),
+    num_nodes: int = 60,
+    seeds: Sequence[int] = (1, 2),
+    depart_fraction: float = 0.3,
+    abrupt_probability: float = 0.5,
+    crash_fraction: float = 0.1,
+) -> Dict[str, Any]:
+    """Address conflicts and quorum self-repair vs per-hop loss rate.
+
+    The paper evaluates over a reliable transport; this experiment
+    drives the quorum protocol and two baselines (MANETconf, DAD)
+    through the fault layer instead: every hop drops with probability
+    x, a tenth of the nodes fail-stutter crash mid-run (down 30 s, the
+    ``T_d``/``T_r`` stress), and the Fig. 13 abrupt-departure mix runs
+    on top.  Plotted per x: surviving address conflicts
+    (``duplicate_addresses``) for all three protocols, plus the quorum
+    protocol's adjustment (QDSet shrink/probe) and reclamation event
+    counts — the self-repair machinery Section V-B predicts should
+    engage as conditions degrade.
+    """
+    def scenario_for(loss: float) -> Callable[[int], Scenario]:
+        def make(seed: int) -> Scenario:
+            faults = FaultSpec(
+                loss_rate=loss,
+                crashes=crash_schedule(
+                    num_nodes, crash_fraction,
+                    at=float(num_nodes) + 10.0,  # after the last arrival
+                    window=20.0, downtime=30.0, seed=seed),
+            )
+            return paper_scenario(
+                num_nodes=num_nodes, seed=seed,
+                depart_fraction=depart_fraction,
+                abrupt_probability=abrupt_probability,
+                depart_window=30.0, settle_time=60.0,
+                faults=faults)
+        return make
+
+    def conflicts(result: RunResult) -> float:
+        return float(result.duplicate_addresses)
+
+    quorum_metrics: Dict[str, Callable[[RunResult], float]] = {
+        "quorum/conflicts": conflicts,
+        "quorum/adjustments": lambda r: float(
+            r.event_count("quorum_shrink") + r.event_count("quorum_probe")),
+        "quorum/reclamations": lambda r: float(
+            r.event_count("reclamation_initiated")),
+    }
+    builder = _SeriesBuilder()
+    for loss in loss_rates:
+        make = scenario_for(loss)
+        # One quorum run per seed serves all three quorum curves.
+        results = sweep_over_seeds(make, "quorum", seeds, quorum_cfg())
+        for label, metric in quorum_metrics.items():
+            values = [metric(result) for result in results]
+            builder.series.setdefault(label, []).append(
+                statistics.mean(values))
+            builder.stds.setdefault(label, []).append(
+                statistics.stdev(values) if len(values) > 1 else 0.0)
+        builder.add("manetconf/conflicts", make, "manetconf", conflicts, seeds)
+        builder.add("dad/conflicts", make, "dad", conflicts, seeds)
+    return _result("Robustness — conflicts and quorum repair vs loss rate",
+                   "per-hop loss rate", "count per run", loss_rates,
                    builder.series, builder.stds)
 
 

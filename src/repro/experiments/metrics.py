@@ -66,6 +66,12 @@ class RunResult:
     head_count: int = 0
     duplicate_addresses: int = 0
     leaked_addresses: int = 0
+    # Fault-injection observability (empty for fault-free runs):
+    # per-category hops lost to injected faults, and named protocol /
+    # fault events (quorum_shrink, reclamation_initiated, fault_crashes,
+    # ...) counted by Counters during the run.
+    stats_drops: Dict[str, int] = dataclasses.field(default_factory=dict)
+    events: Dict[str, int] = dataclasses.field(default_factory=dict)
 
     # ------------------------------------------------------------------
     # Derived metrics (the quantities plotted in the paper)
@@ -179,6 +185,14 @@ class RunResult:
         """Address uniqueness: no two alive nodes share (network, ip)."""
         return self.duplicate_addresses == 0
 
+    def fault_drop_total(self) -> int:
+        """Messages lost to injected faults (0 for fault-free runs)."""
+        return sum(self.stats_drops.values())
+
+    def event_count(self, name: str) -> int:
+        """A named protocol/fault event counter (0 when never fired)."""
+        return self.events.get(name, 0)
+
     # ------------------------------------------------------------------
     # Serialization (the sweep executor's on-disk cache format)
     # ------------------------------------------------------------------
@@ -191,6 +205,12 @@ class RunResult:
         """
         payload = dataclasses.asdict(self)
         payload["graceful_ids"] = sorted(self.graceful_ids)
+        # Keep fault-free payloads byte-identical to the pre-fault
+        # format (and loadable by it): only ship these when populated.
+        if not payload["stats_drops"]:
+            del payload["stats_drops"]
+        if not payload["events"]:
+            del payload["events"]
         return payload
 
     @classmethod

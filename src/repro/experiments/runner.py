@@ -75,6 +75,7 @@ class ScenarioRunner:
             seed=scenario.seed,
             transmission_range=scenario.transmission_range,
             count_hello_cost=self.count_hello_cost,
+            faults=scenario.faults,
         )
         self.ctx = ctx
         if self.count_hello_cost:
@@ -247,6 +248,8 @@ class ScenarioRunner:
             head_count=head_count,
             duplicate_addresses=duplicates,
             leaked_addresses=0,
+            stats_drops=dict(ctx.stats.drops_snapshot()),
+            events=dict(ctx.events.snapshot()),
         )
 
 

@@ -11,6 +11,8 @@ from __future__ import annotations
 import dataclasses
 from typing import Optional, Tuple
 
+from repro.faults.spec import FaultSpec
+
 
 @dataclasses.dataclass
 class Scenario:
@@ -40,6 +42,11 @@ class Scenario:
         settle_time: extra simulated seconds after the last scheduled
             event, letting reclamation/synchronization play out.
         seed: master seed; every random stream derives from it.
+        faults: optional fault-injection schedule (loss, latency, link
+            churn, crashes, cuts) applied on top of the workload; see
+            :mod:`repro.faults`.  ``None`` — the default — keeps the
+            transport perfectly reliable, and such scenarios hash to
+            the same sweep-cache key as before the fault layer existed.
     """
 
     num_nodes: int = 100
@@ -57,6 +64,7 @@ class Scenario:
     uniform_arrival_fraction: float = 0.05
     settle_time: float = 30.0
     seed: int = 0
+    faults: Optional[FaultSpec] = None
 
     def __post_init__(self) -> None:
         if self.num_nodes < 1:

@@ -83,9 +83,16 @@ class RunSpec:
     def to_dict(self) -> Dict[str, Any]:
         """A JSON-safe description of every run parameter."""
         config = self.protocol_config
+        scenario = dataclasses.asdict(self.scenario)
+        # Fault-free scenarios must hash to the key they had before the
+        # fault layer existed, so a populated cache survives the
+        # upgrade: drop the entry entirely unless faults actually act.
+        faults = self.scenario.faults
+        if faults is None or faults.is_null():
+            scenario.pop("faults", None)
         return {
             "protocol": self.protocol,
-            "scenario": dataclasses.asdict(self.scenario),
+            "scenario": scenario,
             "config_class": type(config).__name__ if config is not None else None,
             "config": dataclasses.asdict(config) if config is not None else None,
             "count_hello_cost": self.count_hello_cost,

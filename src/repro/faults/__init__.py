@@ -1,0 +1,36 @@
+"""Fault injection (the chaos layer).
+
+The paper's hardest claims are about behavior under failure: quorum
+adjustment after ``T_d``, ``REP_REQ``/``T_r`` probing, address
+reclamation, and majority-partition-wins merging.  A perfectly reliable
+transport never stresses any of that machinery, so this package adds a
+pluggable, deterministically seeded fault model that the transport and
+simulator consult on every delivery:
+
+* probabilistic per-hop message loss (``loss_rate``);
+* extra delivery latency and jitter (``extra_delay`` / ``jitter``);
+* bursty link up/down churn (``link_churn_rate`` over
+  ``link_churn_period`` buckets);
+* node crash/restart schedules (:class:`CrashEvent`);
+* timed partition/heal schedules (:class:`PartitionEvent`).
+
+Determinism: loss and jitter draw from dedicated
+:class:`repro.sim.rng.RandomStreams` streams (``faults.drop`` /
+``faults.delay``), so enabling faults never perturbs mobility, placement
+or protocol randomness; link churn is a pure hash of
+``(seed, link, time bucket)`` via :func:`repro.sim.rng.spawn_key`.  A
+run's faults are therefore a function of the scenario seed and the
+:class:`FaultSpec` alone, which keeps fault-injected sweeps cache-safe
+and bit-identical between serial and parallel execution.
+"""
+
+from repro.faults.model import FaultModel
+from repro.faults.spec import CrashEvent, FaultSpec, PartitionEvent, crash_schedule
+
+__all__ = [
+    "CrashEvent",
+    "FaultModel",
+    "FaultSpec",
+    "PartitionEvent",
+    "crash_schedule",
+]

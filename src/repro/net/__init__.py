@@ -17,18 +17,28 @@ overhead figure in the evaluation.
 
 from repro.net.message import Message
 from repro.net.node import Node
-from repro.net.stats import Category, MessageStats
+from repro.net.stats import Category, Counters, MessageStats
 from repro.net.topology import Topology
-from repro.net.transport import Delivery, Transport
+from repro.net.transport import (
+    Delivery,
+    FloodResult,
+    Scope,
+    SendOutcome,
+    Transport,
+)
 from repro.net.hello import HelloService
 
 __all__ = [
     "Message",
     "Node",
     "Category",
+    "Counters",
     "MessageStats",
     "Topology",
     "Delivery",
+    "FloodResult",
+    "Scope",
+    "SendOutcome",
     "Transport",
     "HelloService",
 ]

@@ -12,14 +12,18 @@ protocol needs from its routing substrate:
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional
+from typing import TYPE_CHECKING, Any, Dict, Optional
 
 from repro.net.hello import HelloService
 from repro.net.node import Node
-from repro.net.stats import MessageStats
+from repro.net.stats import Counters, MessageStats
 from repro.net.topology import Topology
 from repro.net.transport import Transport
 from repro.sim.engine import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.faults.model import FaultModel
+    from repro.faults.spec import FaultSpec
 
 
 class NetworkContext:
@@ -32,12 +36,19 @@ class NetworkContext:
         transport: Transport,
         hello: HelloService,
         stats: MessageStats,
+        faults: Optional["FaultModel"] = None,
     ) -> None:
         self.sim = sim
         self.topology = topology
         self.transport = transport
         self.hello = hello
         self.stats = stats
+        self.faults = faults
+        # Protocol/fault event tallies (quorum shrinks, probes,
+        # reclamations, crashes, ...) — the observability companion to
+        # the per-category hop counters in ``stats``.
+        self.events: Counters = (
+            faults.events if faults is not None else Counters())
         self.agents: Dict[int, Any] = {}
         self.ip_registry: Dict[int, int] = {}  # ip -> node_id
 
@@ -93,14 +104,28 @@ class NetworkContext:
         hello_interval: float = 1.0,
         per_hop_delay: float = 0.01,
         count_hello_cost: bool = False,
+        faults: Optional["FaultSpec"] = None,
     ) -> "NetworkContext":
-        """Construct a fully wired context with fresh components."""
+        """Construct a fully wired context with fresh components.
+
+        ``faults`` (a :class:`~repro.faults.spec.FaultSpec`) attaches a
+        fault model to the transport and schedules its crash/partition
+        events; ``None`` keeps the transport perfectly reliable.
+        """
         sim = Simulator(seed=seed)
         stats = MessageStats()
         topology = Topology(sim, transmission_range)
-        transport = Transport(sim, topology, stats, per_hop_delay)
+        fault_model = None
+        if faults is not None:
+            from repro.faults.model import FaultModel
+
+            fault_model = FaultModel(faults, sim, topology)
+            fault_model.install()
+        transport = Transport(sim, topology, stats, per_hop_delay,
+                              faults=fault_model)
         hello = HelloService(
             sim, topology, stats, interval=hello_interval,
             count_cost=count_hello_cost,
         )
-        return cls(sim, topology, transport, hello, stats)
+        return cls(sim, topology, transport, hello, stats,
+                   faults=fault_model)

@@ -64,11 +64,12 @@ class Counters:
 
 
 class MessageStats:
-    """Accumulates hop counts and message counts per category."""
+    """Accumulates hop, message and fault-drop counts per category."""
 
     def __init__(self) -> None:
         self.hops: Dict[Category, int] = defaultdict(int)
         self.messages: Dict[Category, int] = defaultdict(int)
+        self.dropped: Dict[Category, int] = defaultdict(int)
 
     def charge(self, category: Category, hop_count: int, messages: int = 1) -> None:
         """Record ``messages`` transmissions totalling ``hop_count`` hops."""
@@ -76,6 +77,12 @@ class MessageStats:
             raise ValueError("hop_count must be non-negative")
         self.hops[category] += hop_count
         self.messages[category] += messages
+
+    def record_drop(self, category: Category, count: int = 1) -> None:
+        """Record ``count`` deliveries suppressed by fault injection."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        self.dropped[category] += count
 
     def total_hops(self, include: Iterable[Category] = None,
                    exclude: Iterable[Category] = ()) -> int:
@@ -94,6 +101,15 @@ class MessageStats:
     def snapshot(self) -> Dict[str, Tuple[int, int]]:
         """``{category: (hops, messages)}`` for reporting."""
         return {c.value: (self.hops[c], self.messages[c]) for c in Category}
+
+    def drops_snapshot(self) -> Dict[str, int]:
+        """``{category: dropped}`` for categories with at least one drop.
+
+        Empty for fault-free runs, so pre-fault-layer
+        :class:`~repro.experiments.metrics.RunResult` payloads stay
+        unchanged byte for byte.
+        """
+        return {c.value: self.dropped[c] for c in Category if self.dropped[c]}
 
     def __repr__(self) -> str:
         parts = ", ".join(

@@ -1,11 +1,14 @@
 """Structured message tracing.
 
 A :class:`MessageTrace` taps a :class:`~repro.net.transport.Transport`
-and records every delivered unicast and every flood as a typed event.
-Used by the Table 1 reproduction, the CLI's ``--trace`` mode, and tests
-that assert on protocol exchanges.
+and records every send — unicast, 1-hop broadcast or flood — as a typed
+event.  Used by the Table 1 reproduction and tests that assert on
+protocol exchanges.
 
-The tap is explicit and reversible::
+The tap wraps the unified :meth:`~repro.net.transport.Transport.send`
+endpoint, so traffic issued through the deprecated ``unicast`` /
+``broadcast_1hop`` / ``flood`` shims is captured too.  It is explicit
+and reversible::
 
     trace = MessageTrace()
     trace.attach(ctx.transport)
@@ -22,12 +25,18 @@ from typing import Callable, Iterator, List, Optional
 
 from repro.net.message import Message
 from repro.net.stats import Category
-from repro.net.transport import Transport
+from repro.net.transport import Scope, Transport
+
+_KIND_BY_SCOPE = {
+    Scope.UNICAST: "unicast",
+    Scope.NEIGHBORS: "broadcast",
+    Scope.FLOOD: "flood",
+}
 
 
 @dataclasses.dataclass(frozen=True)
 class TraceEvent:
-    """One transmitted message (unicast) or flood."""
+    """One transmitted message (unicast) or flood/broadcast."""
 
     time: float
     kind: str                 # "unicast" | "flood" | "broadcast"
@@ -37,6 +46,7 @@ class TraceEvent:
     hops: int                 # route length (unicast) or cost (flood)
     category: str
     delivered: bool
+    dropped: int = 0          # deliveries lost to fault injection
 
     def __str__(self) -> str:
         target = self.dst if self.dst is not None else "*"
@@ -54,47 +64,43 @@ class MessageTrace:
         self._mtypes = set(mtypes) if mtypes else None
         self._limit = limit
         self._transport: Optional[Transport] = None
-        self._original_unicast: Optional[Callable] = None
-        self._original_flood: Optional[Callable] = None
+        self._original_send: Optional[Callable] = None
 
     # ------------------------------------------------------------------
     def attach(self, transport: Transport) -> "MessageTrace":
         if self._transport is not None:
             raise RuntimeError("trace already attached")
         self._transport = transport
-        self._original_unicast = transport.unicast
-        self._original_flood = transport.flood
+        self._original_send = transport.send
         trace = self
 
-        def traced_unicast(src, dst, msg: Message, category: Category):
-            delivery = trace._original_unicast(src, dst, msg, category)
+        def traced_send(src, dst, msg: Message, *, category: Category,
+                        scope: Scope = Scope.UNICAST, max_hops=None,
+                        accept=None):
+            outcome = trace._original_send(
+                src, dst, msg, category=category, scope=scope,
+                max_hops=max_hops, accept=accept)
             trace._record(TraceEvent(
-                time=transport.sim.now, kind="unicast", mtype=msg.mtype,
-                src=src.node_id, dst=dst.node_id, hops=delivery.hops,
-                category=category.value, delivered=delivery.ok,
+                time=transport.sim.now,
+                kind=_KIND_BY_SCOPE[scope],
+                mtype=msg.mtype,
+                src=src.node_id,
+                dst=dst.node_id if dst is not None else None,
+                hops=(outcome.hops if scope is Scope.UNICAST
+                      else outcome.cost_hops),
+                category=category.value,
+                delivered=outcome.delivered,
+                dropped=outcome.dropped,
             ))
-            return delivery
+            return outcome
 
-        def traced_flood(src, msg: Message, category: Category,
-                         max_hops=None, accept=None):
-            result = trace._original_flood(
-                src, msg, category, max_hops=max_hops, accept=accept)
-            trace._record(TraceEvent(
-                time=transport.sim.now, kind="flood", mtype=msg.mtype,
-                src=src.node_id, dst=None, hops=result.cost_hops,
-                category=category.value, delivered=bool(result.receivers),
-            ))
-            return result
-
-        transport.unicast = traced_unicast  # type: ignore[method-assign]
-        transport.flood = traced_flood      # type: ignore[method-assign]
+        transport.send = traced_send  # type: ignore[method-assign]
         return self
 
     def detach(self) -> None:
         if self._transport is None:
             return
-        self._transport.unicast = self._original_unicast  # type: ignore
-        self._transport.flood = self._original_flood      # type: ignore
+        self._transport.send = self._original_send  # type: ignore
         self._transport = None
 
     def __enter__(self) -> "MessageTrace":

@@ -1,22 +1,34 @@
-"""Message delivery with hop-count accounting.
+"""Message delivery with hop-count accounting and fault injection.
 
 Routing is idealized (shortest path over the momentary connectivity
 graph), exactly as the paper abstracts it: the metric of interest is hop
-counts, not routing-protocol behavior.  Delivery is reliable within
-transmission range (Section IV-B); a unicast to an unreachable node
-fails, which is how protocols detect partitions and departed peers.
+counts, not routing-protocol behavior.  Without a fault model, delivery
+is reliable within transmission range (Section IV-B); a unicast to an
+unreachable node fails, which is how protocols detect partitions and
+departed peers.  With a :class:`~repro.faults.model.FaultModel`
+attached, deliveries can additionally be lost, delayed or jammed — and
+those failures are *silent*: the sender still sees a successful
+transmission and must discover the loss through its own timers.
 
 Cost model (Section VI-B):
-  * unicast over a k-hop route charges k hops;
+  * unicast over a k-hop route charges k hops (a fault-dropped unicast
+    charges the partial route traversed before the drop);
   * a flood charges one transmission per node that retransmits — the
     source plus every receiver that forwards;
   * a 1-hop broadcast charges 1.
+
+All traffic flows through the single endpoint :meth:`Transport.send`,
+which returns a :class:`SendOutcome`.  The legacy ``unicast`` /
+``broadcast_1hop`` / ``flood`` methods survive as thin deprecation
+shims (see docs/API.md for the removal timeline).
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, List, Optional, Tuple
+import enum
+import warnings
+from typing import TYPE_CHECKING, Callable, List, Optional, Tuple
 
 from repro.net.message import Message
 from repro.net.node import Node
@@ -24,22 +36,100 @@ from repro.net.stats import Category, MessageStats
 from repro.net.topology import Topology
 from repro.sim.engine import Simulator
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.faults.model import FaultModel
 
-@dataclasses.dataclass
+
+class Scope(enum.Enum):
+    """How far a send travels."""
+
+    UNICAST = "unicast"        # shortest path to one destination
+    NEIGHBORS = "neighbors"    # single transmission, 1-hop receivers
+    FLOOD = "flood"            # whole component (or max_hops ring)
+
+
+@dataclasses.dataclass(frozen=True)
+class SendOutcome:
+    """The uniform result of :meth:`Transport.send`.
+
+    Attributes:
+        ok: the message was transmitted (sender alive; for unicast, a
+            route to a live destination existed).  Under fault
+            injection ``ok`` does NOT imply delivery — a dropped
+            message still reports ``ok=True`` because the sender cannot
+            observe a downstream loss.
+        hops: unicast route length (0 for other scopes and failures).
+        receivers: ``(node_id, hops)`` for every copy actually
+            delivered.
+        cost_hops: hop count charged to the stats.
+        eccentricity: farthest delivered receiver (flood reach).
+        dropped: deliveries suppressed by fault injection.
+    """
+
+    __slots__ = ("ok", "hops", "receivers", "cost_hops", "eccentricity",
+                 "dropped")
+
+    ok: bool
+    hops: int
+    receivers: Tuple[Tuple[int, int], ...]
+    cost_hops: int
+    eccentricity: int
+    dropped: int
+
+    def __reduce__(self):
+        # Manual __slots__ (3.9-compatible) breaks default pickling of
+        # frozen dataclasses; rebuild through the constructor instead.
+        return (self.__class__, (self.ok, self.hops, self.receivers,
+                                 self.cost_hops, self.eccentricity,
+                                 self.dropped))
+
+    @classmethod
+    def failure(cls) -> "SendOutcome":
+        """A send that never left the node (dead sender / no route)."""
+        return cls(False, 0, (), 0, 0, 0)
+
+    @property
+    def delivered(self) -> bool:
+        """Did at least one copy reach an agent?"""
+        return bool(self.receivers)
+
+    def receiver_ids(self) -> List[int]:
+        return [node_id for node_id, _hops in self.receivers]
+
+
+@dataclasses.dataclass(frozen=True)
 class Delivery:
-    """Outcome of a send operation."""
+    """Legacy outcome of a unicast (kept for the deprecation shims)."""
+
+    __slots__ = ("ok", "hops")
 
     ok: bool
     hops: int
 
+    def __reduce__(self):
+        return (self.__class__, (self.ok, self.hops))
 
-@dataclasses.dataclass
+
+@dataclasses.dataclass(frozen=True)
 class FloodResult:
-    """Outcome of a flood: who got it and what it cost."""
+    """Legacy outcome of a flood: who got it and what it cost."""
 
-    receivers: List[Tuple[int, int]]  # (node_id, hops)
+    __slots__ = ("receivers", "cost_hops", "eccentricity")
+
+    receivers: Tuple[Tuple[int, int], ...]  # (node_id, hops)
     cost_hops: int
     eccentricity: int
+
+    def __reduce__(self):
+        return (self.__class__, (self.receivers, self.cost_hops,
+                                 self.eccentricity))
+
+
+def _deprecated(old: str) -> None:
+    warnings.warn(
+        f"Transport.{old}() is deprecated; use Transport.send(..., "
+        "scope=...) instead (see docs/API.md for the timeline)",
+        DeprecationWarning, stacklevel=3)
 
 
 class Transport:
@@ -51,6 +141,8 @@ class Transport:
         stats: hop-count accounting sink.
         per_hop_delay: simulated latency per hop, seconds.  The paper
             reports latency *in hops*; the time delay only orders events.
+        faults: optional fault model consulted on every delivery.  When
+            ``None`` the transport is perfectly reliable within range.
     """
 
     def __init__(
@@ -59,17 +151,165 @@ class Transport:
         topology: Topology,
         stats: MessageStats,
         per_hop_delay: float = 0.01,
+        faults: Optional["FaultModel"] = None,
     ) -> None:
         self.sim = sim
         self.topology = topology
         self.stats = stats
         self.per_hop_delay = per_hop_delay
+        self.faults = faults
 
     # ------------------------------------------------------------------
     def _deliver(self, dst: Node, msg: Message) -> None:
         if dst.alive and dst.agent is not None:
             dst.agent.on_message(msg)
 
+    def _schedule_delivery(self, base_delay: float, dst: Node,
+                           msg: Message) -> None:
+        delay = base_delay
+        if self.faults is not None:
+            delay += self.faults.delivery_delay()
+        self.sim.schedule(delay, self._deliver, dst, msg)
+
+    # ------------------------------------------------------------------
+    # The unified endpoint
+    # ------------------------------------------------------------------
+    def send(
+        self,
+        src: Node,
+        dst: Optional[Node],
+        msg: Message,
+        *,
+        category: Category,
+        scope: Scope = Scope.UNICAST,
+        max_hops: Optional[int] = None,
+        accept: Optional[Callable[[Node], bool]] = None,
+    ) -> SendOutcome:
+        """Send ``msg`` from ``src`` with the given ``scope``.
+
+        * ``Scope.UNICAST`` — shortest path to ``dst``; charges the
+          route length.  Fails fast (``ok=False``) when no route exists
+          or the destination is dead; a fault-injected drop reports
+          ``ok=True`` with ``dropped=1`` and the sender's timeout
+          machinery is responsible for reacting.
+        * ``Scope.NEIGHBORS`` — one transmission, every live one-hop
+          neighbor receives.  Cost: 1 hop.  ``dst`` must be ``None``.
+        * ``Scope.FLOOD`` — every node within ``max_hops`` (or the
+          whole component) receives a copy; the charged cost is one
+          transmission per forwarding node.  ``accept`` filters which
+          receivers get the message *delivered* (e.g. only cluster
+          heads process ADDR_REC), but forwarding — and therefore cost
+          — is unaffected by it.
+        """
+        if scope is Scope.UNICAST:
+            if dst is None:
+                raise ValueError("scope=UNICAST requires a destination")
+            return self._send_unicast(src, dst, msg, category)
+        if dst is not None:
+            raise ValueError(f"scope={scope.value} takes no destination")
+        if scope is Scope.NEIGHBORS:
+            return self._send_neighbors(src, msg, category)
+        return self._send_flood(src, msg, category, max_hops, accept)
+
+    # ------------------------------------------------------------------
+    def _send_unicast(self, src: Node, dst: Node, msg: Message,
+                      category: Category) -> SendOutcome:
+        if not src.alive:
+            return SendOutcome.failure()
+        msg.src = src.node_id
+        msg.dst = dst.node_id
+        msg.sent_at = self.sim.now
+        hops = self.topology.hops(src.node_id, dst.node_id)
+        if hops is None or not dst.alive:
+            return SendOutcome.failure()
+        msg.hops = hops
+        if self.faults is not None:
+            lost_at = self.faults.unicast_loss_hop(
+                src.node_id, dst.node_id, hops)
+            if lost_at is not None:
+                self.stats.charge(category, lost_at)
+                self.stats.record_drop(category)
+                return SendOutcome(True, hops, (), lost_at, 0, 1)
+        self.stats.charge(category, hops)
+        self._schedule_delivery(hops * self.per_hop_delay, dst, msg)
+        return SendOutcome(True, hops, ((dst.node_id, hops),), hops, hops, 0)
+
+    def _send_neighbors(self, src: Node, msg: Message,
+                        category: Category) -> SendOutcome:
+        if not src.alive:
+            return SendOutcome.failure()
+        msg.src = src.node_id
+        msg.dst = None
+        msg.sent_at = self.sim.now
+        msg.hops = 1
+        self.stats.charge(category, 1)
+        receivers: List[Tuple[int, int]] = []
+        dropped = 0
+        for nid in self.topology.neighbors(src.node_id):
+            node = self.topology.get(nid)
+            if node is None or not node.alive:
+                continue
+            if self.faults is not None and self.faults.drops_delivery(
+                    src.node_id, nid, 1):
+                dropped += 1
+                self.stats.record_drop(category)
+                continue
+            receivers.append((nid, 1))
+            delivered = dataclasses.replace(node_msg(msg), hops=1)
+            self._schedule_delivery(self.per_hop_delay, node, delivered)
+        return SendOutcome(True, 0, tuple(receivers), 1,
+                           1 if receivers else 0, dropped)
+
+    def _send_flood(
+        self,
+        src: Node,
+        msg: Message,
+        category: Category,
+        max_hops: Optional[int],
+        accept: Optional[Callable[[Node], bool]],
+    ) -> SendOutcome:
+        if not src.alive:
+            return SendOutcome.failure()
+        msg.src = src.node_id
+        msg.dst = None
+        msg.sent_at = self.sim.now
+        reachable = self.topology.reachable(src.node_id)
+        receivers: List[Tuple[int, int]] = []
+        forwarders = 1  # the source transmits once
+        eccentricity = 0
+        dropped = 0
+        for nid, hops in reachable.items():
+            if nid == src.node_id or hops == 0:
+                continue
+            if max_hops is not None and hops > max_hops:
+                continue
+            node = self.topology.get(nid)
+            if node is None or not node.alive:
+                continue
+            # Forwarding (and therefore cost) is decided before fault
+            # sampling: a node that never received the flood still
+            # appears in the idealized forwarder count, keeping the
+            # no-fault cost model unchanged.
+            if max_hops is None or hops < max_hops:
+                forwarders += 1
+            if self.faults is not None and self.faults.drops_delivery(
+                    src.node_id, nid, hops):
+                dropped += 1
+                self.stats.record_drop(category)
+                continue
+            receivers.append((nid, hops))
+            eccentricity = max(eccentricity, hops)
+            if accept is None or accept(node):
+                delivered = dataclasses.replace(node_msg(msg), hops=hops)
+                self._schedule_delivery(
+                    hops * self.per_hop_delay, node, delivered)
+        self.stats.charge(category, forwarders, messages=forwarders)
+        return SendOutcome(True, 0, tuple(receivers), forwarders,
+                           eccentricity, dropped)
+
+    # ------------------------------------------------------------------
+    # Deprecated pre-SendOutcome surface (thin shims over send())
+    # ------------------------------------------------------------------
     def unicast(
         self,
         src: Node,
@@ -77,24 +317,11 @@ class Transport:
         msg: Message,
         category: Category,
     ) -> Delivery:
-        """Send ``msg`` from ``src`` to ``dst`` along the shortest path.
-
-        Returns the route length taken (charged to ``category``), or a
-        failed delivery when no route exists — the sender's timeout
-        machinery is responsible for reacting.
-        """
-        if not src.alive:
-            return Delivery(False, 0)
-        msg.src = src.node_id
-        msg.dst = dst.node_id
-        msg.sent_at = self.sim.now
-        hops = self.topology.hops(src.node_id, dst.node_id)
-        if hops is None or not dst.alive:
-            return Delivery(False, 0)
-        msg.hops = hops
-        self.stats.charge(category, hops)
-        self.sim.schedule(hops * self.per_hop_delay, self._deliver, dst, msg)
-        return Delivery(True, hops)
+        """Deprecated: use ``send(src, dst, msg, category=..., scope=Scope.UNICAST)``."""
+        _deprecated("unicast")
+        outcome = self.send(src, dst, msg, category=category,
+                            scope=Scope.UNICAST)
+        return Delivery(outcome.ok, outcome.hops)
 
     def broadcast_1hop(
         self,
@@ -102,22 +329,11 @@ class Transport:
         msg: Message,
         category: Category,
     ) -> List[int]:
-        """Transmit once; all one-hop neighbors receive.  Cost: 1 hop."""
-        if not src.alive:
-            return []
-        msg.src = src.node_id
-        msg.dst = None
-        msg.sent_at = self.sim.now
-        msg.hops = 1
-        self.stats.charge(category, 1)
-        receivers = []
-        for nid in self.topology.neighbors(src.node_id):
-            node = self.topology.get(nid)
-            if node is not None and node.alive:
-                receivers.append(nid)
-                delivered = dataclasses.replace(node_msg(msg), hops=1)
-                self.sim.schedule(self.per_hop_delay, self._deliver, node, delivered)
-        return receivers
+        """Deprecated: use ``send(src, None, msg, category=..., scope=Scope.NEIGHBORS)``."""
+        _deprecated("broadcast_1hop")
+        outcome = self.send(src, None, msg, category=category,
+                            scope=Scope.NEIGHBORS)
+        return outcome.receiver_ids()
 
     def flood(
         self,
@@ -127,42 +343,13 @@ class Transport:
         max_hops: Optional[int] = None,
         accept: Optional[Callable[[Node], bool]] = None,
     ) -> FloodResult:
-        """Flood ``msg`` from ``src`` through the connected component.
-
-        Every node within ``max_hops`` (or the whole component) receives
-        a copy; the charged cost is one transmission per forwarding node.
-        ``accept`` filters which receivers get the message *delivered*
-        (e.g. only cluster heads process ADDR_REC), but forwarding — and
-        therefore cost — is unaffected by it.
-        """
-        if not src.alive:
-            return FloodResult([], 0, 0)
-        msg.src = src.node_id
-        msg.dst = None
-        msg.sent_at = self.sim.now
-        reachable = self.topology.reachable(src.node_id)
-        receivers: List[Tuple[int, int]] = []
-        forwarders = 1  # the source transmits once
-        eccentricity = 0
-        for nid, hops in reachable.items():
-            if nid == src.node_id or hops == 0:
-                continue
-            if max_hops is not None and hops > max_hops:
-                continue
-            node = self.topology.get(nid)
-            if node is None or not node.alive:
-                continue
-            receivers.append((nid, hops))
-            eccentricity = max(eccentricity, hops)
-            if max_hops is None or hops < max_hops:
-                forwarders += 1
-            if accept is None or accept(node):
-                delivered = dataclasses.replace(node_msg(msg), hops=hops)
-                self.sim.schedule(
-                    hops * self.per_hop_delay, self._deliver, node, delivered
-                )
-        self.stats.charge(category, forwarders, messages=forwarders)
-        return FloodResult(receivers, forwarders, eccentricity)
+        """Deprecated: use ``send(src, None, msg, category=..., scope=Scope.FLOOD)``."""
+        _deprecated("flood")
+        outcome = self.send(src, None, msg, category=category,
+                            scope=Scope.FLOOD, max_hops=max_hops,
+                            accept=accept)
+        return FloodResult(outcome.receivers, outcome.cost_hops,
+                           outcome.eccentricity)
 
 
 def node_msg(msg: Message) -> Message:

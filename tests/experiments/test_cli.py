@@ -82,6 +82,41 @@ def test_sweep_runs_grid_and_reports_stats(capsys, tmp_path):
     assert "(100 % cached)" in out
 
 
+def test_run_with_faults_reports_fault_activity(capsys):
+    from repro.experiments.builder import ScenarioBuilder
+
+    code = main(["run", "--nodes", "15", "--settle", "10",
+                 "--faults", "loss=0.3,crash=3@10-30"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "event: fault_crashes" in out
+    # main() must not leak the --faults default into library callers.
+    assert ScenarioBuilder.default_faults() is None
+
+
+def test_bad_faults_spec_raises_named_error():
+    with pytest.raises(ValueError, match="unknown fault spec key"):
+        main(["run", "--nodes", "10", "--faults", "chaos=1"])
+
+
+def test_sweep_fault_specs_get_distinct_cache_keys(capsys, tmp_path):
+    base = ["sweep", "--protocols", "dad", "--nodes", "10",
+            "--seeds", "1", "--speed", "0", "--settle", "5",
+            "--workers", "1", "--cache", str(tmp_path)]
+    assert main(base + ["--faults", "loss=0.1"]) == 0
+    out = capsys.readouterr().out
+    assert "executed=1" in out
+
+    assert main(base + ["--faults", "loss=0.1"]) == 0
+    out = capsys.readouterr().out
+    assert "cache_hits=1" in out and "(100 % cached)" in out
+
+    # A different (or absent) fault spec is a different cell.
+    assert main(base) == 0
+    out = capsys.readouterr().out
+    assert "executed=1" in out and "cache_hits=0" in out
+
+
 def test_figure_accepts_workers_and_cache(capsys, tmp_path):
     from repro.experiments.sweep import set_default_executor
     try:

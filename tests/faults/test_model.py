@@ -1,0 +1,155 @@
+"""Behavioral tests for the runtime fault model wired into a transport."""
+
+from repro.faults import CrashEvent, FaultSpec, PartitionEvent
+from repro.geometry import Point
+from repro.mobility.base import Stationary
+from repro.net import Category, Message, Node, Scope
+from repro.net.context import NetworkContext
+
+
+class Recorder:
+    def __init__(self):
+        self.received = []
+
+    def on_message(self, msg):
+        self.received.append((msg.mtype, msg.hops))
+
+
+def make_net(faults=None, count=4, seed=1):
+    """A ``count``-node chain, 1 hop per link at tr = 150 m."""
+    ctx = NetworkContext.build(seed=seed, transmission_range=150.0,
+                               faults=faults)
+    nodes = []
+    for i in range(count):
+        node = Node(i, Stationary(Point(100 + 120 * i, 500)))
+        node.agent = Recorder()
+        ctx.topology.add_node(node)
+        nodes.append(node)
+    return ctx, nodes
+
+
+def test_certain_loss_is_silent_and_charges_partial_route():
+    ctx, nodes = make_net(FaultSpec(loss_rate=0.999999))
+    outcome = ctx.transport.send(nodes[0], nodes[3], Message("PING", 0, 3),
+                                 category=Category.CONFIG)
+    ctx.sim.run()
+    # Silent drop: the sender saw a successful transmission.
+    assert outcome.ok
+    assert outcome.dropped == 1
+    assert not outcome.delivered
+    assert nodes[3].agent.received == []
+    # The partial route (first hop, where the loss struck) is charged.
+    hops, _msgs = ctx.stats.snapshot()["config"]
+    assert hops == outcome.cost_hops == 1
+    assert ctx.stats.drops_snapshot() == {"config": 1}
+
+
+def test_unreachable_destination_still_fails_fast():
+    ctx, nodes = make_net(FaultSpec(loss_rate=0.5))
+    nodes[3].kill()
+    ctx.topology.invalidate()
+    outcome = ctx.transport.send(nodes[0], nodes[3], Message("PING", 0, 3),
+                                 category=Category.CONFIG)
+    assert not outcome.ok
+
+
+def test_crash_and_restart_flip_liveness():
+    spec = FaultSpec(crashes=(CrashEvent(node_id=2, at=5.0, restart_at=9.0),))
+    ctx, nodes = make_net(spec)
+    ctx.sim.run(until=6.0)
+    assert not nodes[2].alive
+    # The crashed node dropped out of the connectivity graph entirely.
+    assert ctx.topology.hops(0, 3) is None
+    ctx.sim.run(until=10.0)
+    assert nodes[2].alive
+    assert ctx.topology.hops(0, 3) == 3
+    assert ctx.events.snapshot() == {"fault_crashes": 1, "fault_restarts": 1}
+
+
+def test_crash_of_already_dead_node_is_skipped():
+    spec = FaultSpec(crashes=(CrashEvent(node_id=2, at=5.0, restart_at=9.0),))
+    ctx, nodes = make_net(spec)
+    nodes[2].kill()
+    ctx.topology.invalidate()
+    ctx.sim.run(until=10.0)
+    assert not nodes[2].alive  # the restart does not resurrect it either
+    assert ctx.events.snapshot() == {"fault_crash_skipped": 1}
+
+
+def test_partition_cut_jams_cross_traffic_only_while_active():
+    spec = FaultSpec(partitions=(PartitionEvent((0, 1), at=10.0, heal_at=20.0),))
+    ctx, nodes = make_net(spec)
+    faults = ctx.faults
+
+    def blocked(a, b):
+        return faults.link_blocked(a, b)
+
+    assert not blocked(1, 2)          # before the cut
+    ctx.sim.run(until=15.0)
+    assert blocked(1, 2)              # across the cut boundary
+    assert blocked(2, 0)
+    assert not blocked(0, 1)          # same side
+    assert not blocked(2, 3)
+    ctx.sim.run(until=25.0)
+    assert not blocked(1, 2)          # healed
+
+
+def test_cut_drops_unicast_but_topology_stays_optimistic():
+    spec = FaultSpec(partitions=(PartitionEvent((0,), at=0.0, heal_at=50.0),))
+    ctx, nodes = make_net(spec)
+    outcome = ctx.transport.send(nodes[0], nodes[2], Message("PING", 0, 2),
+                                 category=Category.CONFIG)
+    assert outcome.ok and outcome.dropped == 1  # jammed, silently
+    assert ctx.topology.hops(0, 2) == 2         # hello oracle unaffected
+
+
+def test_link_churn_is_a_pure_function_of_seed_link_and_bucket():
+    spec = FaultSpec(link_churn_rate=0.5, link_churn_period=10.0)
+    ctx_a, _ = make_net(spec, seed=3)
+    ctx_b, _ = make_net(spec, seed=3)
+    pattern_a = [ctx_a.faults.link_blocked(a, b)
+                 for a in range(4) for b in range(4) if a != b]
+    pattern_b = [ctx_b.faults.link_blocked(a, b)
+                 for a in range(4) for b in range(4) if a != b]
+    assert pattern_a == pattern_b
+    assert any(pattern_a)            # at 50 % some link is down
+    assert not all(pattern_a)        # ...and some link is up
+    # Symmetric: blocked(a, b) == blocked(b, a).
+    assert ctx_a.faults.link_blocked(1, 2) == ctx_a.faults.link_blocked(2, 1)
+
+
+def test_extra_delay_postpones_delivery():
+    ctx, nodes = make_net(FaultSpec(extra_delay=0.5))
+    ctx.transport.send(nodes[0], nodes[1], Message("PING", 0, 1),
+                       category=Category.CONFIG)
+    ctx.sim.run(until=0.4)
+    assert nodes[1].agent.received == []
+    ctx.sim.run(until=0.6)
+    assert nodes[1].agent.received == [("PING", 1)]
+
+
+def test_fault_streams_do_not_perturb_other_randomness():
+    """Variance isolation: enabling loss must not shift e.g. the
+    scenario or mobility streams of the same master seed."""
+    ctx_plain, _ = make_net(None, seed=9)
+    ctx_faulty, _ = make_net(FaultSpec(loss_rate=0.3), seed=9)
+    for stream in ("scenario", "placement", "mobility-0"):
+        a = ctx_plain.sim.streams.get(stream)
+        b = ctx_faulty.sim.streams.get(stream)
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+
+def test_flood_under_loss_charges_full_forwarder_cost():
+    """Forwarding is decided before fault sampling, so the charged
+    flood cost is identical with and without loss."""
+    ctx_plain, nodes_plain = make_net(None)
+    plain = ctx_plain.transport.send(
+        nodes_plain[0], None, Message("WAVE", 0, None),
+        category=Category.RECLAMATION, scope=Scope.FLOOD)
+    ctx_lossy, nodes_lossy = make_net(FaultSpec(loss_rate=0.999999))
+    lossy = ctx_lossy.transport.send(
+        nodes_lossy[0], None, Message("WAVE", 0, None),
+        category=Category.RECLAMATION, scope=Scope.FLOOD)
+    assert lossy.cost_hops == plain.cost_hops
+    assert lossy.dropped == len(plain.receivers) == 3
+    assert lossy.receivers == ()

@@ -1,0 +1,124 @@
+"""Unit tests for fault spec values, parsing and schedule helpers."""
+
+import dataclasses
+
+import pytest
+
+from repro.faults import CrashEvent, FaultSpec, PartitionEvent, crash_schedule
+
+
+def test_default_spec_is_null():
+    assert FaultSpec().is_null()
+
+
+def test_any_fault_makes_spec_non_null():
+    assert not FaultSpec(loss_rate=0.1).is_null()
+    assert not FaultSpec(extra_delay=0.5).is_null()
+    assert not FaultSpec(jitter=0.1).is_null()
+    assert not FaultSpec(link_churn_rate=0.05).is_null()
+    assert not FaultSpec(crashes=(CrashEvent(1, 10.0, None),)).is_null()
+    assert not FaultSpec(
+        partitions=(PartitionEvent((1, 2), 5.0, 10.0),)).is_null()
+
+
+def test_spec_validation_names_field():
+    with pytest.raises(ValueError, match="loss_rate"):
+        FaultSpec(loss_rate=1.0)
+    with pytest.raises(ValueError, match="extra_delay"):
+        FaultSpec(extra_delay=-1.0)
+    with pytest.raises(ValueError, match="link_churn_period"):
+        FaultSpec(link_churn_rate=0.1, link_churn_period=0.0)
+
+
+def test_crash_event_validation():
+    with pytest.raises(ValueError):
+        CrashEvent(node_id=1, at=-1.0, restart_at=None)
+    with pytest.raises(ValueError):
+        CrashEvent(node_id=1, at=10.0, restart_at=5.0)
+
+
+def test_partition_event_validation():
+    with pytest.raises(ValueError):
+        PartitionEvent(group=(), at=1.0, heal_at=2.0)
+    with pytest.raises(ValueError):
+        PartitionEvent(group=(1,), at=5.0, heal_at=5.0)
+
+
+def test_spec_is_hashable_and_frozen():
+    spec = FaultSpec(loss_rate=0.1, crashes=(CrashEvent(1, 2.0, 5.0),))
+    assert hash(spec) == hash(
+        FaultSpec(loss_rate=0.1, crashes=(CrashEvent(1, 2.0, 5.0),)))
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        spec.loss_rate = 0.2
+
+
+# ---------------------------------------------------------------------------
+# CLI spec-string parsing
+# ---------------------------------------------------------------------------
+def test_parse_scalars():
+    spec = FaultSpec.parse("loss=0.1,delay=0.02,jitter=0.01,churn=0.05,"
+                           "churn_period=20")
+    assert spec.loss_rate == 0.1
+    assert spec.extra_delay == 0.02
+    assert spec.jitter == 0.01
+    assert spec.link_churn_rate == 0.05
+    assert spec.link_churn_period == 20.0
+
+
+def test_parse_crash_and_cut():
+    spec = FaultSpec.parse("crash=7@40,crash=9@30-60,cut=1+2+3@50-80")
+    assert spec.crashes == (
+        CrashEvent(node_id=7, at=40.0, restart_at=None),
+        CrashEvent(node_id=9, at=30.0, restart_at=60.0),
+    )
+    assert spec.partitions == (
+        PartitionEvent(group=(1, 2, 3), at=50.0, heal_at=80.0),
+    )
+
+
+def test_parse_empty_items_and_spaces_tolerated():
+    assert FaultSpec.parse(" loss=0.1 , ,delay=0.5 ") == FaultSpec(
+        loss_rate=0.1, extra_delay=0.5)
+
+
+def test_parse_rejects_unknown_key():
+    with pytest.raises(ValueError, match="unknown fault spec key"):
+        FaultSpec.parse("chaos=1.0")
+
+
+def test_parse_rejects_malformed_items():
+    with pytest.raises(ValueError):
+        FaultSpec.parse("loss")
+    with pytest.raises(ValueError, match="bad crash spec"):
+        FaultSpec.parse("crash=abc")
+    with pytest.raises(ValueError, match="bad cut spec"):
+        FaultSpec.parse("cut=1+x@2-3")
+
+
+# ---------------------------------------------------------------------------
+# crash_schedule
+# ---------------------------------------------------------------------------
+def test_crash_schedule_is_deterministic():
+    a = crash_schedule(50, 0.2, at=40.0, seed=7)
+    b = crash_schedule(50, 0.2, at=40.0, seed=7)
+    assert a == b
+    assert len(a) == 10
+    assert all(40.0 <= e.at < 60.0 for e in a)
+    assert all(e.restart_at == e.at + 30.0 for e in a)
+
+
+def test_crash_schedule_seed_changes_victims():
+    a = {e.node_id for e in crash_schedule(50, 0.2, at=40.0, seed=1)}
+    b = {e.node_id for e in crash_schedule(50, 0.2, at=40.0, seed=2)}
+    assert a != b
+
+
+def test_crash_schedule_no_restart():
+    events = crash_schedule(10, 0.5, at=10.0, downtime=None, seed=3)
+    assert len(events) == 5
+    assert all(e.restart_at is None for e in events)
+
+
+def test_crash_schedule_rejects_bad_fraction():
+    with pytest.raises(ValueError):
+        crash_schedule(10, 1.5, at=0.0)

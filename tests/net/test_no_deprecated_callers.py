@@ -1,0 +1,33 @@
+"""Tier-1 lint: no in-repo caller may use the deprecated Transport API.
+
+``Transport.unicast`` / ``broadcast_1hop`` / ``flood`` survive only as
+deprecation shims for downstream users; everything in ``src/``,
+``examples/`` and ``benchmarks/`` must go through the unified
+``Transport.send`` endpoint.  (Tests under ``tests/net`` deliberately
+exercise the shims and are exempt.)
+"""
+
+import re
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[2]
+DEPRECATED_CALL = re.compile(r"\.(unicast|broadcast_1hop|flood)\(")
+# The shims themselves live here; everything else is a violation.
+EXEMPT = {REPO / "src" / "repro" / "net" / "transport.py"}
+SCANNED_ROOTS = ("src", "examples", "benchmarks")
+
+
+def test_no_deprecated_transport_callers():
+    violations = []
+    for root in SCANNED_ROOTS:
+        for path in sorted((REPO / root).rglob("*.py")):
+            if path in EXEMPT:
+                continue
+            for lineno, line in enumerate(
+                    path.read_text().splitlines(), start=1):
+                if DEPRECATED_CALL.search(line):
+                    violations.append(
+                        f"{path.relative_to(REPO)}:{lineno}: {line.strip()}")
+    assert not violations, (
+        "deprecated Transport.unicast/broadcast_1hop/flood calls found "
+        "(use Transport.send(..., scope=...)):\n" + "\n".join(violations))

@@ -1,0 +1,162 @@
+"""Tests for the unified Transport.send endpoint and its legacy shims."""
+
+import pickle
+import warnings
+
+import pytest
+
+from repro.geometry import Point
+from repro.mobility.base import Stationary
+from repro.net import Category, Message, Node, Scope, SendOutcome
+from repro.net.context import NetworkContext
+from repro.net.transport import Delivery, FloodResult
+
+
+class Recorder:
+    def __init__(self):
+        self.received = []
+
+    def on_message(self, msg):
+        self.received.append(msg.mtype)
+
+
+def make_net(count=4):
+    ctx = NetworkContext.build(seed=1, transmission_range=150.0)
+    nodes = []
+    for i in range(count):
+        node = Node(i, Stationary(Point(100 + 120 * i, 500)))
+        node.agent = Recorder()
+        ctx.topology.add_node(node)
+        nodes.append(node)
+    return ctx, nodes
+
+
+# ---------------------------------------------------------------------------
+# The unified endpoint
+# ---------------------------------------------------------------------------
+def test_unicast_outcome():
+    ctx, nodes = make_net()
+    outcome = ctx.transport.send(nodes[0], nodes[2], Message("PING", 0, 2),
+                                 category=Category.CONFIG)
+    ctx.sim.run()
+    assert outcome.ok and outcome.delivered
+    assert outcome.hops == outcome.cost_hops == outcome.eccentricity == 2
+    assert outcome.receivers == ((2, 2),)
+    assert outcome.dropped == 0
+    assert nodes[2].agent.received == ["PING"]
+
+
+def test_unicast_failure_outcome():
+    ctx, nodes = make_net()
+    nodes[2].kill()
+    ctx.topology.invalidate()
+    outcome = ctx.transport.send(nodes[0], nodes[2], Message("PING", 0, 2),
+                                 category=Category.CONFIG)
+    assert outcome == SendOutcome.failure()
+    assert not outcome.ok and not outcome.delivered
+
+
+def test_neighbors_outcome():
+    ctx, nodes = make_net()
+    outcome = ctx.transport.send(nodes[1], None, Message("HELLO", 1, None),
+                                 category=Category.CONFIG,
+                                 scope=Scope.NEIGHBORS)
+    ctx.sim.run()
+    assert outcome.ok
+    assert sorted(outcome.receiver_ids()) == [0, 2]
+    assert outcome.cost_hops == 1
+    assert nodes[0].agent.received == ["HELLO"]
+    assert nodes[3].agent.received == []
+
+
+def test_flood_outcome():
+    ctx, nodes = make_net()
+    outcome = ctx.transport.send(nodes[0], None, Message("WAVE", 0, None),
+                                 category=Category.RECLAMATION,
+                                 scope=Scope.FLOOD)
+    ctx.sim.run()
+    assert outcome.ok
+    assert sorted(outcome.receivers) == [(1, 1), (2, 2), (3, 3)]
+    assert outcome.eccentricity == 3
+    # Cost: source + every receiver retransmits (unbounded flood).
+    assert outcome.cost_hops == 4
+
+
+def test_category_is_keyword_only():
+    ctx, nodes = make_net()
+    with pytest.raises(TypeError):
+        ctx.transport.send(nodes[0], nodes[1], Message("PING", 0, 1),
+                           Category.CONFIG)
+
+
+def test_scope_destination_mismatch_rejected():
+    ctx, nodes = make_net()
+    with pytest.raises(ValueError, match="requires a destination"):
+        ctx.transport.send(nodes[0], None, Message("PING", 0, None),
+                           category=Category.CONFIG)
+    with pytest.raises(ValueError, match="takes no destination"):
+        ctx.transport.send(nodes[0], nodes[1], Message("WAVE", 0, None),
+                           category=Category.CONFIG, scope=Scope.FLOOD)
+
+
+def test_outcome_is_frozen_slotted_and_picklable():
+    outcome = SendOutcome(True, 2, ((2, 2),), 2, 2, 0)
+    with pytest.raises(Exception):
+        outcome.ok = False
+    assert not hasattr(outcome, "__dict__")
+    assert pickle.loads(pickle.dumps(outcome)) == outcome
+
+
+def test_legacy_results_are_frozen_and_picklable():
+    delivery = Delivery(True, 3)
+    flood = FloodResult(((1, 1),), 2, 1)
+    for obj in (delivery, flood):
+        assert not hasattr(obj, "__dict__")
+        assert pickle.loads(pickle.dumps(obj)) == obj
+    with pytest.raises(Exception):
+        delivery.hops = 9
+    with pytest.raises(Exception):
+        flood.cost_hops = 9
+
+
+# ---------------------------------------------------------------------------
+# Deprecation shims
+# ---------------------------------------------------------------------------
+def test_unicast_shim_warns_and_adapts():
+    ctx, nodes = make_net()
+    with pytest.deprecated_call(match="Transport.unicast"):
+        delivery = ctx.transport.unicast(
+            nodes[0], nodes[2], Message("PING", 0, 2), Category.CONFIG)
+    assert isinstance(delivery, Delivery)
+    assert delivery.ok and delivery.hops == 2
+
+
+def test_broadcast_shim_warns_and_adapts():
+    ctx, nodes = make_net()
+    with pytest.deprecated_call(match="Transport.broadcast_1hop"):
+        receivers = ctx.transport.broadcast_1hop(
+            nodes[1], Message("HELLO", 1, None), Category.CONFIG)
+    assert sorted(receivers) == [0, 2]
+
+
+def test_flood_shim_warns_and_adapts():
+    ctx, nodes = make_net()
+    with pytest.deprecated_call(match="Transport.flood"):
+        result = ctx.transport.flood(
+            nodes[0], Message("WAVE", 0, None), Category.RECLAMATION)
+    assert isinstance(result, FloodResult)
+    assert sorted(result.receivers) == [(1, 1), (2, 2), (3, 3)]
+
+
+def test_shim_equivalent_to_send():
+    ctx, nodes = make_net()
+    direct = ctx.transport.send(nodes[0], nodes[3], Message("A", 0, 3),
+                                category=Category.CONFIG)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        shimmed = ctx.transport.unicast(nodes[0], nodes[3],
+                                        Message("B", 0, 3), Category.CONFIG)
+    assert (shimmed.ok, shimmed.hops) == (direct.ok, direct.hops)
+    # Both charged the same cost path.
+    hops, msgs = ctx.stats.snapshot()["config"]
+    assert hops == 6 and msgs == 2

@@ -1,10 +1,12 @@
 """Unit tests for the message trace tap."""
 
+import warnings
+
 import pytest
 
 from repro.geometry import Point
 from repro.mobility.base import Stationary
-from repro.net import Category, Message, Node
+from repro.net import Category, Message, Node, Scope
 from repro.net.context import NetworkContext
 from repro.net.trace import MessageTrace
 
@@ -28,8 +30,8 @@ def make_net():
 def test_records_unicasts():
     ctx, nodes = make_net()
     trace = MessageTrace().attach(ctx.transport)
-    ctx.transport.unicast(nodes[0], nodes[2], Message("PING", 0, 2),
-                          Category.CONFIG)
+    ctx.transport.send(nodes[0], nodes[2], Message("PING", 0, 2),
+                       category=Category.CONFIG)
     ctx.sim.run()
     trace.detach()
     events = list(trace.unicasts())
@@ -43,8 +45,8 @@ def test_records_unicasts():
 def test_records_floods():
     ctx, nodes = make_net()
     trace = MessageTrace().attach(ctx.transport)
-    ctx.transport.flood(nodes[0], Message("WAVE", 0, None),
-                        Category.RECLAMATION)
+    ctx.transport.send(nodes[0], None, Message("WAVE", 0, None),
+                       category=Category.RECLAMATION, scope=Scope.FLOOD)
     trace.detach()
     floods = list(trace.floods())
     assert len(floods) == 1
@@ -52,13 +54,25 @@ def test_records_floods():
     assert floods[0].dst is None
 
 
+def test_records_deprecated_shim_traffic():
+    # Legacy callers route through send(), so the tap still sees them.
+    ctx, nodes = make_net()
+    trace = MessageTrace().attach(ctx.transport)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        ctx.transport.unicast(nodes[0], nodes[2], Message("PING", 0, 2),
+                              Category.CONFIG)
+    trace.detach()
+    assert [e.mtype for e in trace.unicasts()] == ["PING"]
+
+
 def test_failed_unicast_recorded_as_undelivered():
     ctx, nodes = make_net()
     nodes[2].kill()
     ctx.topology.invalidate()
     trace = MessageTrace().attach(ctx.transport)
-    ctx.transport.unicast(nodes[0], nodes[2], Message("PING", 0, 2),
-                          Category.CONFIG)
+    ctx.transport.send(nodes[0], nodes[2], Message("PING", 0, 2),
+                       category=Category.CONFIG)
     trace.detach()
     assert list(trace.unicasts(delivered_only=True)) == []
     assert len(list(trace.unicasts(delivered_only=False))) == 1
@@ -67,24 +81,24 @@ def test_failed_unicast_recorded_as_undelivered():
 def test_mtype_filter():
     ctx, nodes = make_net()
     trace = MessageTrace(mtypes=["KEEP"]).attach(ctx.transport)
-    ctx.transport.unicast(nodes[0], nodes[1], Message("KEEP", 0, 1),
-                          Category.CONFIG)
-    ctx.transport.unicast(nodes[0], nodes[1], Message("DROP", 0, 1),
-                          Category.CONFIG)
+    ctx.transport.send(nodes[0], nodes[1], Message("KEEP", 0, 1),
+                       category=Category.CONFIG)
+    ctx.transport.send(nodes[0], nodes[1], Message("DROP", 0, 1),
+                       category=Category.CONFIG)
     trace.detach()
     assert trace.message_types() == ["KEEP"]
 
 
 def test_detach_restores_transport():
     ctx, nodes = make_net()
-    original = ctx.transport.unicast
+    original = ctx.transport.send
     trace = MessageTrace().attach(ctx.transport)
-    assert ctx.transport.unicast != original
+    assert ctx.transport.send != original
     trace.detach()
-    assert ctx.transport.unicast == original
+    assert ctx.transport.send == original
     # Sends after detach are not recorded.
-    ctx.transport.unicast(nodes[0], nodes[1], Message("PING", 0, 1),
-                          Category.CONFIG)
+    ctx.transport.send(nodes[0], nodes[1], Message("PING", 0, 1),
+                       category=Category.CONFIG)
     assert len(trace) == 0
 
 
@@ -99,12 +113,12 @@ def test_double_attach_rejected():
 def test_between_query():
     ctx, nodes = make_net()
     trace = MessageTrace().attach(ctx.transport)
-    ctx.transport.unicast(nodes[0], nodes[1], Message("A", 0, 1),
-                          Category.CONFIG)
-    ctx.transport.unicast(nodes[1], nodes[0], Message("B", 1, 0),
-                          Category.CONFIG)
-    ctx.transport.unicast(nodes[0], nodes[2], Message("C", 0, 2),
-                          Category.CONFIG)
+    ctx.transport.send(nodes[0], nodes[1], Message("A", 0, 1),
+                       category=Category.CONFIG)
+    ctx.transport.send(nodes[1], nodes[0], Message("B", 1, 0),
+                       category=Category.CONFIG)
+    ctx.transport.send(nodes[0], nodes[2], Message("C", 0, 2),
+                       category=Category.CONFIG)
     trace.detach()
     assert [e.mtype for e in trace.between(0, 1)] == ["A", "B"]
 
@@ -112,18 +126,18 @@ def test_between_query():
 def test_context_manager_detaches():
     ctx, nodes = make_net()
     with MessageTrace().attach(ctx.transport) as trace:
-        ctx.transport.unicast(nodes[0], nodes[1], Message("A", 0, 1),
-                              Category.CONFIG)
+        ctx.transport.send(nodes[0], nodes[1], Message("A", 0, 1),
+                           category=Category.CONFIG)
     assert len(trace) == 1
-    assert ctx.transport.unicast.__name__ != "traced_unicast"
+    assert ctx.transport.send.__name__ != "traced_send"
 
 
 def test_limit_bounds_memory():
     ctx, nodes = make_net()
     trace = MessageTrace(limit=2).attach(ctx.transport)
     for _ in range(5):
-        ctx.transport.unicast(nodes[0], nodes[1], Message("A", 0, 1),
-                              Category.CONFIG)
+        ctx.transport.send(nodes[0], nodes[1], Message("A", 0, 1),
+                           category=Category.CONFIG)
     trace.detach()
     assert len(trace) == 2
 
@@ -131,8 +145,8 @@ def test_limit_bounds_memory():
 def test_event_str_renders():
     ctx, nodes = make_net()
     trace = MessageTrace().attach(ctx.transport)
-    ctx.transport.unicast(nodes[0], nodes[1], Message("PING", 0, 1),
-                          Category.CONFIG)
+    ctx.transport.send(nodes[0], nodes[1], Message("PING", 0, 1),
+                       category=Category.CONFIG)
     trace.detach()
     text = str(trace.events[0])
     assert "PING" in text and "unicast" in text
