@@ -130,6 +130,20 @@ def build_parser() -> argparse.ArgumentParser:
     lay_p.add_argument("--nodes", type=int, default=100)
     lay_p.add_argument("--seed", type=int, default=1)
     lay_p.add_argument("--tr", type=float, default=150.0)
+
+    bench_p = sub.add_parser(
+        "bench",
+        help="run the topology benchmark matrix -> BENCH_topology.json")
+    bench_p.add_argument("--quick", action="store_true",
+                         help="small matrix (CI perf-smoke)")
+    bench_p.add_argument("--out", default="BENCH_topology.json")
+    bench_p.add_argument("--check", action="store_true",
+                         help="fail on counter regression vs --baseline")
+    bench_p.add_argument("--baseline",
+                         default="benchmarks/BENCH_topology_baseline.json")
+    bench_p.add_argument("--tolerance", type=float, default=0.25)
+    bench_p.add_argument("--skip-legacy", action="store_true",
+                         help="skip networkx-oracle timings")
     return parser
 
 
@@ -277,6 +291,22 @@ def cmd_layout(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.perf import bench
+
+    argv = []
+    if args.quick:
+        argv.append("--quick")
+    argv += ["--out", args.out,
+             "--baseline", args.baseline,
+             "--tolerance", str(args.tolerance)]
+    if args.check:
+        argv.append("--check")
+    if args.skip_legacy:
+        argv.append("--skip-legacy")
+    return bench.main(argv)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     install_faults(args)
@@ -286,6 +316,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "figure": cmd_figure,
         "sweep": cmd_sweep,
         "layout": cmd_layout,
+        "bench": cmd_bench,
     }
     try:
         return handlers[args.command](args)

@@ -92,6 +92,8 @@ class AdjustmentMixin:
         for head_id, _hops in self._heads_within(ADJACENT_HEAD_HOPS):
             self._recruit_member(head_id)
         if self.head.qdset.needs_regrow():
+            # Deliberately unbounded: regrowing a starved QDSet recruits
+            # the nearest heads wherever they are in the partition.
             candidates = sorted(
                 (
                     (hops, other)

@@ -148,8 +148,9 @@ class DepartureMixin:
         assert self.head is not None
         configurer = self.head.configurer_id
         if configurer is not None and self.ctx.is_head(configurer):
-            hops = self.ctx.topology.hops(self.node_id, configurer)
-            if hops is not None and hops <= ADJACENT_HEAD_HOPS:
+            hops = self.ctx.topology.hops(self.node_id, configurer,
+                                          max_hops=ADJACENT_HEAD_HOPS)
+            if hops is not None:
                 return configurer
 
         def replica_size(member: int) -> int:

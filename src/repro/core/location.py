@@ -55,8 +55,9 @@ class LocationMixin:
         anchor = self._location_anchor()
         anchor_near = False
         if anchor is not None and self.ctx.is_head(anchor):
-            hops = self.ctx.topology.hops(self.node_id, anchor)
-            anchor_near = hops is not None and hops <= ADJACENT_HEAD_HOPS
+            hops = self.ctx.topology.hops(self.node_id, anchor,
+                                          max_hops=ADJACENT_HEAD_HOPS)
+            anchor_near = hops is not None
         if anchor_near:
             return
         nearest = self._nearest_head()

@@ -110,6 +110,8 @@ class PartitionMixin:
             return
         own_net_head = False
         any_head = False
+        # Deliberately unbounded: orphan rescue asks the whole partition
+        # whether any head of the node's own network still exists.
         for other, hops in self.ctx.topology.reachable(self.node_id).items():
             if other == self.node_id or hops == 0:
                 continue
@@ -255,6 +257,8 @@ class PartitionMixin:
         if self._isolated_strikes < ISOLATION_STRIKES:
             return
         self._isolated_strikes = 0
+        # Deliberately unbounded: re-founding elects the lowest-id head
+        # of the whole component, so the scan must cover all of it.
         reachable_heads = [
             other for other, hops in self.ctx.topology.reachable(
                 self.node_id).items()

@@ -197,6 +197,9 @@ class QuorumProtocolAgent(
             self._config_timer.restart(self.cfg.config_timeout)
             return
 
+        # Deliberately unbounded: with no head in HELLO scope the
+        # entrant falls back to asking the whole partition (Section
+        # IV-B's "ask any allocator" escape hatch).
         candidates = self._rank_by_network([
             (other, hops)
             for other, hops in self.ctx.topology.reachable(self.node_id).items()
@@ -1153,8 +1156,9 @@ class QuorumProtocolAgent(
             return
         if not self.ctx.is_head(head_id) or not self._same_network_head(head_id):
             return
-        hops = self.ctx.topology.hops(self.node_id, head_id)
-        if hops is not None and hops <= ADJACENT_HEAD_HOPS:
+        hops = self.ctx.topology.hops(self.node_id, head_id,
+                                      max_hops=ADJACENT_HEAD_HOPS)
+        if hops is not None:
             self.head.qdset.add(head_id)
 
     # ==================================================================

@@ -91,6 +91,8 @@ class ReclamationMixin:
             "dead_ip": dead_ip,
             "initiator": self.node_id,
         }, network_id=self.network_id)
+        # max_hops also bounds the underlying BFS: the flood only ever
+        # explores the reclamation-radius ring, not the whole component.
         self.ctx.transport.send(
             self.node, None, msg, category=Category.RECLAMATION,
             scope=Scope.FLOOD, max_hops=self.cfg.reclamation_radius,

@@ -72,6 +72,11 @@ class RunResult:
     # ...) counted by Counters during the run.
     stats_drops: Dict[str, int] = dataclasses.field(default_factory=dict)
     events: Dict[str, int] = dataclasses.field(default_factory=dict)
+    # Deterministic perf counters from repro.perf (graph rebuilds, BFS
+    # calls/expansions, cache hits, sends per scope).  Counts of
+    # algorithmic work only — never wall clock — so they are identical
+    # across machines, reruns and worker counts.
+    perf_counters: Dict[str, int] = dataclasses.field(default_factory=dict)
 
     # ------------------------------------------------------------------
     # Derived metrics (the quantities plotted in the paper)
@@ -211,6 +216,8 @@ class RunResult:
             del payload["stats_drops"]
         if not payload["events"]:
             del payload["events"]
+        if not payload["perf_counters"]:
+            del payload["perf_counters"]
         return payload
 
     @classmethod

@@ -250,6 +250,7 @@ class ScenarioRunner:
             leaked_addresses=0,
             stats_drops=dict(ctx.stats.drops_snapshot()),
             events=dict(ctx.events.snapshot()),
+            perf_counters=ctx.perf.counters_snapshot(),
         )
 
 

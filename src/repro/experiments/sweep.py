@@ -243,6 +243,18 @@ class SweepReport:
         """Fraction of cells served from cache (0.0 with no cells)."""
         return (sum(self.cached) / len(self.cached)) if self.cached else 0.0
 
+    def perf_totals(self) -> Dict[str, int]:
+        """Sum of every run's deterministic perf counters (sorted).
+
+        Aggregated from :attr:`RunResult.perf_counters`, so cache hits
+        contribute the counters recorded when the cell was computed.
+        """
+        totals: Dict[str, int] = {}
+        for result in self.results:
+            for name, count in result.perf_counters.items():
+                totals[name] = totals.get(name, 0) + count
+        return dict(sorted(totals.items()))
+
 
 class SweepExecutor:
     """Fans RunSpecs out over worker processes, with caching.

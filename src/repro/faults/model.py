@@ -88,6 +88,12 @@ class FaultModel:
         self.events.incr("fault_crashes")
         if crash.restart_at is not None:
             self.sim.schedule_at(crash.restart_at, self._restart, crash)
+        else:
+            # Never coming back: evict so the topology does not carry
+            # the corpse through every future rebuild.  Dead and absent
+            # are indistinguishable to queries (get() -> None vs a
+            # not-alive node are handled identically everywhere).
+            self.topology.remove_node(node)
 
     def _restart(self, crash: CrashEvent) -> None:
         node = self.topology.get(crash.node_id)

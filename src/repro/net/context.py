@@ -19,6 +19,7 @@ from repro.net.node import Node
 from repro.net.stats import Counters, MessageStats
 from repro.net.topology import Topology
 from repro.net.transport import Transport
+from repro.perf import PerfRecorder
 from repro.sim.engine import Simulator
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -37,6 +38,7 @@ class NetworkContext:
         hello: HelloService,
         stats: MessageStats,
         faults: Optional["FaultModel"] = None,
+        perf: Optional[PerfRecorder] = None,
     ) -> None:
         self.sim = sim
         self.topology = topology
@@ -44,6 +46,10 @@ class NetworkContext:
         self.hello = hello
         self.stats = stats
         self.faults = faults
+        # One perf recorder per run: topology/transport counters and
+        # timers accumulate here (defaults to the topology's recorder).
+        self.perf: PerfRecorder = (
+            perf if perf is not None else topology.perf)
         # Protocol/fault event tallies (quorum shrinks, probes,
         # reclamations, crashes, ...) — the observability companion to
         # the per-category hop counters in ``stats``.
@@ -114,7 +120,8 @@ class NetworkContext:
         """
         sim = Simulator(seed=seed)
         stats = MessageStats()
-        topology = Topology(sim, transmission_range)
+        perf = PerfRecorder()
+        topology = Topology(sim, transmission_range, perf=perf)
         fault_model = None
         if faults is not None:
             from repro.faults.model import FaultModel
@@ -122,10 +129,10 @@ class NetworkContext:
             fault_model = FaultModel(faults, sim, topology)
             fault_model.install()
         transport = Transport(sim, topology, stats, per_hop_delay,
-                              faults=fault_model)
+                              faults=fault_model, perf=perf)
         hello = HelloService(
             sim, topology, stats, interval=hello_interval,
             count_cost=count_hello_cost,
         )
         return cls(sim, topology, transport, hello, stats,
-                   faults=fault_model)
+                   faults=fault_model, perf=perf)

@@ -82,15 +82,15 @@ class HelloService:
     ) -> Optional[Tuple[int, int]]:
         """The closest reachable cluster head, or ``None``.
 
-        ``max_hops`` bounds the search (e.g. 2 for the role decision);
-        unbounded searches model a node asking the whole partition.
+        ``max_hops`` bounds the search (e.g. 2 for the role decision) —
+        the underlying BFS stops at that level rather than walking the
+        whole component; unbounded searches model a node asking the
+        whole partition.
         """
-        lengths = self.topology.reachable(node_id)
+        lengths = self.topology.reachable(node_id, max_hops=max_hops)
         best: Optional[Tuple[int, int]] = None
         for other, hops in lengths.items():
             if other == node_id or hops == 0:
-                continue
-            if max_hops is not None and hops > max_hops:
                 continue
             if not is_head(other):
                 continue

@@ -46,7 +46,9 @@ class Counters:
         return self._counts[name]
 
     def get(self, name: str) -> int:
-        return self._counts[name]
+        # Plain lookup, not defaultdict access: reading a counter must
+        # not materialize a zero entry in the reporting snapshot.
+        return self._counts.get(name, 0)
 
     def merge(self, other: "Counters") -> None:
         """Fold another counter set into this one (sharded workers)."""

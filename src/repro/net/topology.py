@@ -1,21 +1,61 @@
-"""Unit-disk connectivity and hop-count queries.
+"""Unit-disk connectivity and hop-count queries (spatial-grid engine).
 
-The connectivity graph is rebuilt lazily from the analytic mobility
-models: a rebuild happens when the clock has advanced past a refresh
-interval or the node population changed.  BFS results are memoized per
-graph version, since protocol code repeatedly asks for distances from the
-same allocators.
+The connectivity graph over alive nodes is maintained natively — no
+graph library on the hot path:
+
+* **Spatial-grid index.**  Nodes are bucketed into square cells whose
+  side equals the transmission range, so every potential neighbor of a
+  node lies in its own or one of the eight surrounding cells.  Edge
+  construction is ``O(n + edges)`` instead of the dense ``O(n^2)``
+  pairwise-distance matrix the first implementation built.
+
+* **Flat adjacency lists.**  Adjacency is stored per node as a list of
+  neighbor ids ordered by *rank* (the node's position in the insertion
+  order of the population).  This reproduces — bit for bit — the
+  adjacency iteration order of the original networkx graph, which was
+  built by inserting edges in row-major index order; every downstream
+  iteration order (flood receiver tuples, delivery scheduling, merge
+  scans) is therefore unchanged.
+
+* **Bounded, memoized BFS.**  Hop queries run a deque-free, level-list
+  BFS that yields nodes in exactly the order
+  ``networkx.single_source_shortest_path_length`` produced.  Callers
+  that only need a ``k``-hop neighborhood (QDSet discovery: 3, HELLO
+  scans: 2, reclamation floods: ``reclamation_radius``) pass
+  ``max_hops`` and the search stops at that level.  Results are
+  memoized per source until the graph changes; a deeper query upgrades
+  the cached entry in place.
+
+* **Incremental invalidation.**  ``add_node`` / ``remove_node`` no
+  longer force a full rebuild: mutations are applied lazily, and when
+  the graph is refreshed only the *dirty* set — added, removed and
+  moved nodes — has its cells and edges recomputed.  A full rebuild
+  happens only when the dirty set is large, on explicit
+  :meth:`invalidate` (alive-flag changes), or on first use.  Both
+  refresh paths produce identical graphs: the delta path is an exact
+  optimization, not an approximation.
+
+The engine is validated against a networkx oracle
+(:mod:`repro.net.oracle`, a test/bench-only dependency) for edge sets,
+hop counts, iteration order and connected components.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Set, Tuple
-
-import networkx as nx
-import numpy as np
+import math
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 from repro.net.node import Node
+from repro.perf import PerfRecorder
 from repro.sim.engine import Simulator
+
+_INF = float("inf")
+
+#: Delta-refresh falls back to a full rebuild once more than this
+#: fraction of the population is dirty (added + removed + moved) — at
+#: that point recomputing everything through the grid is cheaper than
+#: patching adjacency lists one node at a time.
+DELTA_REBUILD_MAX_DIRTY_FRACTION = 0.25
 
 
 class Topology:
@@ -28,6 +68,8 @@ class Topology:
             rebuild; positions move at most ``speed * refresh_interval``
             between rebuilds (at 20 m/s and 0.5 s that is 10 m, small
             against ranges of 100-250 m).
+        perf: shared :class:`~repro.perf.PerfRecorder`; a private one is
+            created when not given (standalone/test use).
     """
 
     def __init__(
@@ -35,17 +77,29 @@ class Topology:
         sim: Simulator,
         transmission_range: float,
         refresh_interval: float = 0.5,
+        perf: Optional[PerfRecorder] = None,
     ) -> None:
         if transmission_range <= 0:
             raise ValueError("transmission range must be positive")
         self.sim = sim
         self.transmission_range = transmission_range
         self.refresh_interval = refresh_interval
+        self.perf = perf if perf is not None else PerfRecorder()
         self._nodes: Dict[int, Node] = {}
-        self._graph: Optional[nx.Graph] = None
+        # --- graph snapshot state --------------------------------------
+        self._have_graph = False
         self._graph_time: float = -1.0
         self._graph_version: int = 0
-        self._bfs_cache: Dict[int, Dict[int, int]] = {}
+        self._rank: Dict[int, int] = {}          # id -> insertion rank
+        self._pos: Dict[int, Tuple[float, float]] = {}
+        self._adj: Dict[int, List[int]] = {}     # id -> ids, rank order
+        self._grid: Dict[Tuple[int, int], List[int]] = {}
+        self._cell_size: float = transmission_range
+        # --- invalidation flags ----------------------------------------
+        self._force_full = True      # invalidate() / first build
+        self._members_dirty = False  # add_node/remove_node since build
+        # --- BFS memo: id -> (depth_computed, complete, lengths) -------
+        self._bfs_cache: Dict[int, Tuple[float, bool, Dict[int, int]]] = {}
 
     # ------------------------------------------------------------------
     # Population management
@@ -54,11 +108,16 @@ class Topology:
         if node.node_id in self._nodes:
             raise ValueError(f"duplicate node id {node.node_id}")
         self._nodes[node.node_id] = node
-        self.invalidate()
+        self._members_dirty = True
+        self._bfs_cache.clear()
 
     def remove_node(self, node: Node) -> None:
-        self._nodes.pop(node.node_id, None)
-        self.invalidate()
+        """Evict a node entirely (graceful leave, vanish, permanent
+        crash).  Unlike a mere ``alive = False``, eviction frees the
+        node's entry so long churn scenarios do not degrade rebuilds."""
+        if self._nodes.pop(node.node_id, None) is not None:
+            self._members_dirty = True
+            self._bfs_cache.clear()
 
     def get(self, node_id: int) -> Optional[Node]:
         return self._nodes.get(node_id)
@@ -68,81 +127,370 @@ class Topology:
         return [n for n in self._nodes.values() if n.alive]
 
     def invalidate(self) -> None:
-        """Force a graph rebuild on the next query."""
-        self._graph = None
+        """Force a full graph rebuild on the next query.
+
+        Required after out-of-band liveness changes (fault crash /
+        restart flips ``node.alive`` without going through
+        :meth:`remove_node`); plain membership changes use the cheaper
+        incremental path automatically.
+        """
+        self._force_full = True
         self._bfs_cache.clear()
 
     # ------------------------------------------------------------------
-    # Graph construction
+    # Graph maintenance
     # ------------------------------------------------------------------
-    def graph(self) -> nx.Graph:
-        """The unit-disk graph over alive nodes at (approximately) now."""
+    def _cell_of(self, x: float, y: float) -> Tuple[int, int]:
+        size = self._cell_size
+        return (int(math.floor(x / size)), int(math.floor(y / size)))
+
+    def _grid_insert(self, node_id: int, cell: Tuple[int, int]) -> None:
+        self._grid.setdefault(cell, []).append(node_id)
+
+    def _grid_remove(self, node_id: int, cell: Tuple[int, int]) -> None:
+        bucket = self._grid.get(cell)
+        if bucket is not None:
+            try:
+                bucket.remove(node_id)
+            except ValueError:
+                pass
+            if not bucket:
+                del self._grid[cell]
+
+    def _neighbor_candidates(self, cell: Tuple[int, int]) -> List[int]:
+        """Every node id in the 3x3 cell block around ``cell``."""
+        cx, cy = cell
+        grid = self._grid
+        out: List[int] = []
+        for dx in (-1, 0, 1):
+            for dy in (-1, 0, 1):
+                bucket = grid.get((cx + dx, cy + dy))
+                if bucket:
+                    out.extend(bucket)
+        return out
+
+    def _insort_by_rank(self, lst: List[int], node_id: int) -> None:
+        """Insert ``node_id`` into ``lst`` keeping rank order (3.9-safe
+        manual bisect: :func:`bisect.insort` grew ``key=`` in 3.10)."""
+        rank = self._rank
+        target = rank[node_id]
+        lo, hi = 0, len(lst)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if rank[lst[mid]] < target:
+                lo = mid + 1
+            else:
+                hi = mid
+        lst.insert(lo, node_id)
+
+    def _ensure_graph(self) -> None:
+        """Bring the graph snapshot up to date with ``sim.now``.
+
+        Mirrors the original engine's policy exactly: a snapshot is
+        served as long as it is younger than ``refresh_interval`` *and*
+        nothing mutated; any mutation forces the next query to see a
+        graph equivalent to a full rebuild at that query's time.
+        """
         now = self.sim.now
         if (
-            self._graph is not None
+            self._have_graph
+            and not self._force_full
+            and not self._members_dirty
             and now - self._graph_time <= self.refresh_interval
         ):
-            return self._graph
-        alive = self.nodes()
-        g = nx.Graph()
-        g.add_nodes_from(n.node_id for n in alive)
-        if len(alive) > 1:
-            coordinates = np.array(
-                [n.position(now).as_tuple() for n in alive], dtype=float
-            )
-            ids = [n.node_id for n in alive]
-            deltas = coordinates[:, None, :] - coordinates[None, :, :]
-            sq_dist = np.einsum("ijk,ijk->ij", deltas, deltas)
-            limit = self.transmission_range ** 2
-            rows, cols = np.nonzero(sq_dist <= limit)
-            for i, j in zip(rows, cols):
-                if i < j:
-                    g.add_edge(ids[i], ids[j])
-        self._graph = g
+            return
+        self.perf.incr("graph_rebuilds")
+        with self.perf.timer("topology.rebuild"):
+            if self._have_graph and not self._force_full:
+                if self._try_delta_rebuild(now):
+                    self._finish_rebuild(now)
+                    return
+            self._full_rebuild(now)
+            self._finish_rebuild(now)
+
+    def _finish_rebuild(self, now: float) -> None:
+        self._have_graph = True
+        self._force_full = False
+        self._members_dirty = False
         self._graph_time = now
         self._graph_version += 1
         self._bfs_cache.clear()
-        return g
+
+    def _full_rebuild(self, now: float) -> None:
+        self.perf.incr("graph_full_rebuilds")
+        alive = self.nodes()
+        self._rank = {n.node_id: i for i, n in enumerate(alive)}
+        self._pos = {n.node_id: n.position(now).as_tuple() for n in alive}
+        grid: Dict[Tuple[int, int], List[int]] = {}
+        self._grid = grid
+        adj = {n.node_id: [] for n in alive}
+        self._adj = adj
+        pos = self._pos
+        size = self._cell_size
+        floor = math.floor
+        for n in alive:  # rank order => cell buckets are rank-ordered
+            x, y = pos[n.node_id]
+            cell = (int(floor(x / size)), int(floor(y / size)))
+            bucket = grid.get(cell)
+            if bucket is None:
+                grid[cell] = [n.node_id]
+            else:
+                bucket.append(n.node_id)
+        rank = self._rank
+        limit = self.transmission_range ** 2
+        edges = 0
+        # Each unordered cell pair is visited exactly once: within the
+        # cell itself plus four "forward" neighbor cells, so every edge
+        # is tested once (the dense path tested each pair twice).
+        for (cx, cy), bucket in grid.items():
+            blen = len(bucket)
+            for ii in range(blen):
+                u = bucket[ii]
+                ux, uy = pos[u]
+                for jj in range(ii + 1, blen):
+                    v = bucket[jj]
+                    vx, vy = pos[v]
+                    dx = ux - vx
+                    dy = uy - vy
+                    if dx * dx + dy * dy <= limit:
+                        adj[u].append(v)
+                        adj[v].append(u)
+                        edges += 1
+            for delta in ((1, 0), (1, 1), (0, 1), (-1, 1)):
+                other = grid.get((cx + delta[0], cy + delta[1]))
+                if not other:
+                    continue
+                for u in bucket:
+                    ux, uy = pos[u]
+                    for v in other:
+                        vx, vy = pos[v]
+                        dx = ux - vx
+                        dy = uy - vy
+                        if dx * dx + dy * dy <= limit:
+                            adj[u].append(v)
+                            adj[v].append(u)
+                            edges += 1
+        # Edges were discovered in cell order; adjacency must be in
+        # rank (population-insertion) order to reproduce the original
+        # networkx iteration order bit for bit.
+        get_rank = rank.__getitem__
+        for neighbors in adj.values():
+            neighbors.sort(key=get_rank)
+        self.perf.incr("graph_edges_built", edges)
+
+    def _try_delta_rebuild(self, now: float) -> bool:
+        """Refresh by recomputing only dirty nodes; False => do a full.
+
+        Exactness argument: membership is re-derived the same way a
+        full rebuild derives it, unchanged nodes keep bit-identical
+        positions (tuple equality) so their mutual edges cannot differ,
+        and every edge touching a dirty node is recomputed with the
+        same arithmetic the full path uses.  Rank *values* of surviving
+        nodes go stale after removals but their relative order — the
+        only thing adjacency ordering depends on — matches insertion
+        order exactly as a fresh enumeration would.
+        """
+        target = self.nodes()
+        rank = self._rank
+        # New nodes must come after every ranked survivor (they are
+        # appended to the population dict); a ranked node following an
+        # unranked one would mean insertion order and rank order
+        # disagree — bail out to the full path.
+        seen_unranked = False
+        added: List[int] = []
+        target_ids: Set[int] = set()
+        for n in target:
+            target_ids.add(n.node_id)
+            if n.node_id in rank:
+                if seen_unranked:
+                    return False
+            else:
+                seen_unranked = True
+                added.append(n.node_id)
+        removed = [nid for nid in self._adj if nid not in target_ids]
+        pos = self._pos
+        new_pos: Dict[int, Tuple[float, float]] = {
+            n.node_id: n.position(now).as_tuple() for n in target
+        }
+        moved = [
+            nid for nid, p in new_pos.items()
+            if nid in rank and pos.get(nid) != p
+        ]
+        dirty_count = len(added) + len(removed) + len(moved)
+        if dirty_count > DELTA_REBUILD_MAX_DIRTY_FRACTION * max(1, len(target)):
+            return False
+        if dirty_count == 0:
+            return True  # refresh-interval expiry, nobody moved
+        self.perf.incr("graph_delta_rebuilds")
+        self.perf.incr("graph_delta_dirty_nodes", dirty_count)
+        adj = self._adj
+        gone: Set[int] = set(removed) | set(moved)
+        # 1) detach every removed/moved node from the old structure.
+        for nid in removed + moved:
+            x, y = pos[nid]
+            self._grid_remove(nid, self._cell_of(x, y))
+            for nb in adj.pop(nid, ()):
+                if nb not in gone:
+                    adj[nb].remove(nid)
+            pos.pop(nid, None)
+            if nid in removed:
+                rank.pop(nid, None)
+        # 2) (re)insert moved + added nodes at their current positions.
+        next_rank = 1 + max(rank.values(), default=-1)
+        for nid in added:
+            rank[nid] = next_rank
+            next_rank += 1
+        dirty = moved + added   # ranks of `added` all exceed `moved`'s?
+        # Not necessarily — sort so pair handling below sees ascending
+        # rank, which the insertion logic relies on.
+        dirty.sort(key=rank.__getitem__)
+        for nid in dirty:
+            p = new_pos[nid]
+            pos[nid] = p
+            adj[nid] = []
+            self._grid_insert(nid, self._cell_of(*p))
+        # 3) recompute edges touching dirty nodes.
+        limit = self.transmission_range ** 2
+        dirty_set = set(dirty)
+        edges = 0
+        for nid in dirty:
+            my_rank = rank[nid]
+            x, y = pos[nid]
+            for u in self._neighbor_candidates(self._cell_of(x, y)):
+                if u == nid:
+                    continue
+                if u in dirty_set and rank[u] < my_rank:
+                    continue  # pair already handled from u's side
+                ux, uy = pos[u]
+                dx = x - ux
+                dy = y - uy
+                if dx * dx + dy * dy <= limit:
+                    self._insort_by_rank(adj[nid], u)
+                    self._insort_by_rank(adj[u], nid)
+                    edges += 1
+        self.perf.incr("graph_edges_built", edges)
+        return True
+
+    # ------------------------------------------------------------------
+    # Structure queries (test / oracle surface)
+    # ------------------------------------------------------------------
+    @property
+    def graph_version(self) -> int:
+        return self._graph_version
+
+    def node_ids(self) -> List[int]:
+        """Alive node ids in graph (insertion) order."""
+        self._ensure_graph()
+        return list(self._adj)
+
+    def has_edge(self, a: int, b: int) -> bool:
+        self._ensure_graph()
+        return b in self._adj.get(a, ())
+
+    def edges(self) -> Iterator[Tuple[int, int]]:
+        """Every edge once, as ``(lower-rank id, higher-rank id)``."""
+        self._ensure_graph()
+        rank = self._rank
+        for nid, nbrs in self._adj.items():
+            for u in nbrs:
+                if rank[u] > rank[nid]:
+                    yield (nid, u)
+
+    def edge_count(self) -> int:
+        self._ensure_graph()
+        return sum(len(nbrs) for nbrs in self._adj.values()) // 2
 
     # ------------------------------------------------------------------
     # Hop-count queries
     # ------------------------------------------------------------------
-    def _bfs_from(self, node_id: int) -> Dict[int, int]:
-        g = self.graph()
+    def _bfs_from(self, node_id: int,
+                  max_hops: Optional[int] = None) -> Dict[int, int]:
+        """Hop distances from ``node_id``, memoized per graph version.
+
+        With ``max_hops`` the search stops after that level; the
+        returned dict may be *deeper* than requested when a deeper
+        result is already cached — callers filter.  Iteration order is
+        level by level in discovery order, exactly matching the
+        original networkx implementation.
+        """
+        self._ensure_graph()
+        need: float = max_hops if max_hops is not None else _INF
         cached = self._bfs_cache.get(node_id)
         if cached is not None:
-            return cached
-        if node_id not in g:
-            lengths: Dict[int, int] = {}
-        else:
-            lengths = nx.single_source_shortest_path_length(g, node_id)
-        self._bfs_cache[node_id] = lengths
+            depth, complete, lengths = cached
+            if complete or depth >= need:
+                self.perf.incr("bfs_cache_hits")
+                return lengths
+        self.perf.incr("bfs_calls")
+        with self.perf.timer("topology.bfs"):
+            lengths, complete, expanded = self._run_bfs(node_id, need)
+        self.perf.incr("bfs_nodes_expanded", expanded)
+        self._bfs_cache[node_id] = (need, complete, lengths)
         return lengths
 
-    def hops(self, a: int, b: int) -> Optional[int]:
-        """Shortest-path hop count from ``a`` to ``b``; None if unreachable."""
+    def _run_bfs(self, source: int,
+                 cutoff: float) -> Tuple[Dict[int, int], bool, int]:
+        adj = self._adj
+        if source not in adj:
+            return {}, True, 0
+        n = len(adj)
+        lengths: Dict[int, int] = {source: 0}
+        nextlevel: List[int] = [source]
+        level = 0
+        expanded = 0
+        while nextlevel and cutoff > level:
+            level += 1
+            thislevel = nextlevel
+            nextlevel = []
+            for v in thislevel:
+                expanded += 1
+                for w in adj[v]:
+                    if w not in lengths:
+                        lengths[w] = level
+                        nextlevel.append(w)
+                if len(lengths) == n:
+                    return lengths, True, expanded
+        return lengths, not nextlevel, expanded
+
+    def hops(self, a: int, b: int,
+             max_hops: Optional[int] = None) -> Optional[int]:
+        """Shortest-path hop count from ``a`` to ``b``; None if unreachable.
+
+        ``max_hops`` bounds the search: nodes farther than that report
+        ``None`` (indistinguishable from unreachable), and the BFS
+        stops at that level instead of walking the whole component.
+        """
         if a == b:
             return 0
-        return self._bfs_from(a).get(b)
+        d = self._bfs_from(a, max_hops=max_hops).get(b)
+        if d is None or (max_hops is not None and d > max_hops):
+            return None
+        return d
 
     def neighbors(self, node_id: int) -> List[int]:
         """One-hop neighbor ids."""
-        g = self.graph()
-        if node_id not in g:
-            return []
-        return list(g.neighbors(node_id))
+        self._ensure_graph()
+        return list(self._adj.get(node_id, ()))
 
     def within_hops(self, node_id: int, k: int) -> List[Tuple[int, int]]:
         """``(other_id, hops)`` for every node within ``k`` hops (excl. self)."""
         return [
             (other, d)
-            for other, d in self._bfs_from(node_id).items()
+            for other, d in self._bfs_from(node_id, max_hops=k).items()
             if 0 < d <= k
         ]
 
-    def reachable(self, node_id: int) -> Dict[int, int]:
-        """All reachable nodes with their hop distances (including self=0)."""
-        return dict(self._bfs_from(node_id))
+    def reachable(self, node_id: int,
+                  max_hops: Optional[int] = None) -> Dict[int, int]:
+        """Reachable nodes with hop distances (including self=0).
+
+        ``max_hops`` bounds the search to that many hops — the BFS
+        stops early instead of exploring the whole component.
+        """
+        lengths = self._bfs_from(node_id, max_hops=max_hops)
+        if max_hops is None:
+            return dict(lengths)
+        return {other: d for other, d in lengths.items() if d <= max_hops}
 
     def eccentricity_from(self, node_id: int) -> int:
         """Max hop distance to any reachable node (0 if isolated)."""
@@ -151,7 +499,26 @@ class Topology:
 
     def components(self) -> List[Set[int]]:
         """Connected components of the current graph (sets of node ids)."""
-        return [set(c) for c in nx.connected_components(self.graph())]
+        self._ensure_graph()
+        adj = self._adj
+        seen: Set[int] = set()
+        out: List[Set[int]] = []
+        for nid in adj:
+            if nid in seen:
+                continue
+            component = {nid}
+            frontier = [nid]
+            while frontier:
+                nxt: List[int] = []
+                for v in frontier:
+                    for w in adj[v]:
+                        if w not in component:
+                            component.add(w)
+                            nxt.append(w)
+                frontier = nxt
+            seen |= component
+            out.append(component)
+        return out
 
     def same_partition(self, ids: Iterable[int]) -> bool:
         """True iff all given nodes are in one connected component."""

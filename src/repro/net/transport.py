@@ -34,6 +34,7 @@ from repro.net.message import Message
 from repro.net.node import Node
 from repro.net.stats import Category, MessageStats
 from repro.net.topology import Topology
+from repro.perf import PerfRecorder
 from repro.sim.engine import Simulator
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -143,6 +144,8 @@ class Transport:
             reports latency *in hops*; the time delay only orders events.
         faults: optional fault model consulted on every delivery.  When
             ``None`` the transport is perfectly reliable within range.
+        perf: shared :class:`~repro.perf.PerfRecorder`; falls back to
+            the topology's recorder so counters land in one place.
     """
 
     def __init__(
@@ -152,12 +155,14 @@ class Transport:
         stats: MessageStats,
         per_hop_delay: float = 0.01,
         faults: Optional["FaultModel"] = None,
+        perf: Optional[PerfRecorder] = None,
     ) -> None:
         self.sim = sim
         self.topology = topology
         self.stats = stats
         self.per_hop_delay = per_hop_delay
         self.faults = faults
+        self.perf = perf if perf is not None else topology.perf
 
     # ------------------------------------------------------------------
     def _deliver(self, dst: Node, msg: Message) -> None:
@@ -201,15 +206,17 @@ class Transport:
           heads process ADDR_REC), but forwarding — and therefore cost
           — is unaffected by it.
         """
-        if scope is Scope.UNICAST:
-            if dst is None:
-                raise ValueError("scope=UNICAST requires a destination")
-            return self._send_unicast(src, dst, msg, category)
-        if dst is not None:
-            raise ValueError(f"scope={scope.value} takes no destination")
-        if scope is Scope.NEIGHBORS:
-            return self._send_neighbors(src, msg, category)
-        return self._send_flood(src, msg, category, max_hops, accept)
+        self.perf.incr(f"send_{scope.value}")
+        with self.perf.timer("transport.send"):
+            if scope is Scope.UNICAST:
+                if dst is None:
+                    raise ValueError("scope=UNICAST requires a destination")
+                return self._send_unicast(src, dst, msg, category)
+            if dst is not None:
+                raise ValueError(f"scope={scope.value} takes no destination")
+            if scope is Scope.NEIGHBORS:
+                return self._send_neighbors(src, msg, category)
+            return self._send_flood(src, msg, category, max_hops, accept)
 
     # ------------------------------------------------------------------
     def _send_unicast(self, src: Node, dst: Node, msg: Message,
@@ -273,7 +280,10 @@ class Transport:
         msg.src = src.node_id
         msg.dst = None
         msg.sent_at = self.sim.now
-        reachable = self.topology.reachable(src.node_id)
+        # Bounded floods only explore the max_hops-ring: the BFS stops
+        # at that level instead of walking the whole component.  The
+        # level-ordered prefix is identical to filtering a full search.
+        reachable = self.topology.reachable(src.node_id, max_hops=max_hops)
         receivers: List[Tuple[int, int]] = []
         forwarders = 1  # the source transmits once
         eccentricity = 0

@@ -1,0 +1,135 @@
+"""Lightweight performance instrumentation.
+
+One :class:`PerfRecorder` per simulation run collects two kinds of
+observability data:
+
+* **Monotonic counters** — deterministic tallies of algorithmic work
+  (graph rebuilds, BFS calls, BFS nodes expanded, cache hits, sends per
+  scope).  Counters depend only on the simulated event sequence, never
+  on wall clock, so they are bit-identical across reruns, machines and
+  worker counts — which is what lets them ride on
+  :class:`~repro.experiments.metrics.RunResult` without breaking the
+  sweep executor's byte-identity guarantees, and lets CI track them as
+  machine-independent regression metrics.
+
+* **Nestable wall-clock timers** — accumulated ``perf_counter`` spans
+  per name.  Timers may nest (``topology.rebuild`` inside
+  ``transport.send``); re-entering a name that is already running on
+  the stack does not double-count its time.  Timings are *never*
+  serialized into run results: wall clock varies per machine, and the
+  determinism tests compare result payloads byte for byte.  The
+  ``repro bench`` subcommand is the consumer (docs/BENCHMARKS.md).
+
+Instrumented subsystems accept a recorder (topology, transport take a
+``perf=`` argument; :class:`~repro.net.context.NetworkContext` wires one
+shared recorder per run, exposed as ``ctx.perf``).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterator, List, Tuple
+
+from repro.net.stats import Counters
+
+__all__ = ["PerfRecorder", "TimerStat"]
+
+
+class TimerStat:
+    """Accumulated wall-clock total and call count for one timer name."""
+
+    __slots__ = ("calls", "total_s", "_depth", "_started")
+
+    def __init__(self) -> None:
+        self.calls = 0
+        self.total_s = 0.0
+        self._depth = 0      # re-entrancy guard: only the outermost
+        self._started = 0.0  # frame of a name accumulates time
+
+    def as_dict(self) -> Dict[str, float]:
+        return {"calls": self.calls, "total_s": self.total_s}
+
+
+class PerfRecorder:
+    """Counters plus nestable timers for one simulation run.
+
+    Args:
+        clock: monotonic time source (injectable for tests); defaults
+            to :func:`time.perf_counter`.
+
+    Example:
+        >>> perf = PerfRecorder()
+        >>> with perf.timer("topology.rebuild"):
+        ...     perf.incr("graph_rebuilds")
+        1
+        >>> perf.counters.get("graph_rebuilds")
+        1
+    """
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
+        self.counters = Counters()
+        self._clock = clock
+        self._timers: Dict[str, TimerStat] = {}
+        self._stack: List[str] = []
+
+    # ------------------------------------------------------------------
+    # Counters (deterministic)
+    # ------------------------------------------------------------------
+    def incr(self, name: str, amount: int = 1) -> int:
+        """Add ``amount`` to counter ``name``; returns the new value."""
+        return self.counters.incr(name, amount)
+
+    def get(self, name: str) -> int:
+        return self.counters.get(name)
+
+    def counters_snapshot(self) -> Dict[str, int]:
+        """Sorted ``{name: count}`` of every counter ever touched."""
+        return dict(sorted(self.counters.snapshot().items()))
+
+    # ------------------------------------------------------------------
+    # Timers (wall clock, bench-only)
+    # ------------------------------------------------------------------
+    @contextmanager
+    def timer(self, name: str) -> Iterator[None]:
+        """Time a block under ``name``; nest freely, re-entrancy-safe."""
+        stat = self._timers.get(name)
+        if stat is None:
+            stat = self._timers[name] = TimerStat()
+        stat.calls += 1
+        stat._depth += 1
+        outermost = stat._depth == 1
+        if outermost:
+            stat._started = self._clock()
+        self._stack.append(name)
+        try:
+            yield
+        finally:
+            self._stack.pop()
+            stat._depth -= 1
+            if outermost:
+                stat.total_s += self._clock() - stat._started
+
+    def active_timers(self) -> Tuple[str, ...]:
+        """Names currently on the timer stack, outermost first."""
+        return tuple(self._stack)
+
+    def timings_snapshot(self) -> Dict[str, Dict[str, float]]:
+        """Sorted ``{name: {"calls": n, "total_s": s}}``."""
+        return {name: stat.as_dict()
+                for name, stat in sorted(self._timers.items())}
+
+    # ------------------------------------------------------------------
+    def merge(self, other: "PerfRecorder") -> None:
+        """Fold another recorder's counters and timings into this one."""
+        self.counters.merge(other.counters)
+        for name, stat in other._timers.items():
+            mine = self._timers.get(name)
+            if mine is None:
+                mine = self._timers[name] = TimerStat()
+            mine.calls += stat.calls
+            mine.total_s += stat.total_s
+
+    def __repr__(self) -> str:
+        return (f"PerfRecorder(counters={self.counters!r}, "
+                f"timers={sorted(self._timers)})")

@@ -1,0 +1,240 @@
+"""The ``repro bench`` benchmark harness (perf trajectory entry #1).
+
+Runs a fixed, versioned benchmark matrix and writes ``BENCH_topology.json``:
+
+* **Engine microbenchmarks** — static populations at several sizes;
+  wall-clock for (a) full graph rebuilds and (b) the protocol's hop
+  queries (3-hop ``within_hops`` per node plus unbounded ``reachable``),
+  for the native spatial-grid engine and, unless ``--skip-legacy``, the
+  networkx oracle it replaced.  The ratio is the headline speedup.
+
+* **Scenario benchmarks** — full protocol runs through
+  :class:`~repro.experiments.runner.ScenarioRunner`; wall-clock plus the
+  run's deterministic perf counters (graph rebuilds, BFS calls, BFS
+  nodes expanded, cache hits, sends per scope).
+
+Wall-clock numbers vary per machine and are informational.  The
+*counters* are bit-identical everywhere, which is what the regression
+gate compares: ``--check`` fails when any scenario counter exceeds the
+committed baseline (``benchmarks/BENCH_topology_baseline.json``) by more
+than ``--tolerance`` (default 25%).  Counters dropping below baseline is
+an improvement, never a failure.  See docs/BENCHMARKS.md for the JSON
+schema and how to refresh the baseline.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.geometry import Point
+from repro.mobility.base import Stationary
+from repro.net.node import Node
+from repro.net.topology import Topology
+from repro.sim.engine import Simulator
+
+SCHEMA_VERSION = 1
+DEFAULT_TOLERANCE = 0.25
+DEFAULT_BASELINE = Path("benchmarks/BENCH_topology_baseline.json")
+
+#: Microbenchmark population sizes (node counts).  The acceptance bar
+#: for the grid engine is measured at n >= 200.
+ENGINE_SIZES_QUICK = (100, 200)
+ENGINE_SIZES_FULL = (100, 200, 400)
+
+QUERY_HOP_BOUND = 3  # the paper's QDSet scope; HELLO uses 2
+
+
+def _make_population(n: int, seed: int,
+                     transmission_range: float = 150.0,
+                     area: float = 1000.0) -> List[Node]:
+    """A deterministic static population (same layout for both engines)."""
+    rng = random.Random(seed)
+    return [
+        Node(i, Stationary(Point(rng.uniform(0, area), rng.uniform(0, area))))
+        for i in range(n)
+    ]
+
+
+def _bench_engine(topology_cls: Any, n: int, *, seed: int = 11,
+                  rebuild_reps: int = 20,
+                  query_reps: int = 5) -> Dict[str, float]:
+    """Time rebuilds and hop queries for one engine at one size."""
+    sim = Simulator(seed=seed)
+    topo = topology_cls(sim, transmission_range=150.0)
+    for node in _make_population(n, seed):
+        topo.add_node(node)
+    ids = [node.node_id for node in topo.nodes()]
+    # Warm up once so lazy imports / first-build overheads are excluded.
+    topo.invalidate()
+    topo.reachable(ids[0])
+
+    start = time.perf_counter()
+    for _ in range(rebuild_reps):
+        topo.invalidate()
+        topo.neighbors(ids[0])  # forces the rebuild
+    rebuild_s = (time.perf_counter() - start) / rebuild_reps
+
+    start = time.perf_counter()
+    for _ in range(query_reps):
+        topo._bfs_cache.clear()  # measure BFS work, not memo hits
+        for nid in ids:
+            topo.within_hops(nid, QUERY_HOP_BOUND)
+        topo._bfs_cache.clear()
+        for nid in ids[:: max(1, n // 20)]:
+            topo.reachable(nid)
+    query_s = (time.perf_counter() - start) / query_reps
+
+    return {"rebuild_s": rebuild_s, "query_s": query_s}
+
+
+def _scenario_matrix(quick: bool) -> List[Tuple[str, Any, str]]:
+    """(name, Scenario, protocol) cells; fixed so runs are comparable."""
+    from repro.experiments.scenario import Scenario
+
+    cells = [
+        ("quorum-n40", Scenario(num_nodes=40, seed=2, settle_time=20.0),
+         "quorum"),
+        ("quorum-n30-static",
+         Scenario(num_nodes=30, seed=3, speed_mps=0.0, settle_time=10.0),
+         "quorum"),
+    ]
+    if not quick:
+        cells += [
+            ("manetconf-n40",
+             Scenario(num_nodes=40, seed=2, settle_time=20.0), "manetconf"),
+            ("quorum-n80",
+             Scenario(num_nodes=80, seed=4, settle_time=20.0), "quorum"),
+        ]
+    return cells
+
+
+def run_bench(quick: bool = False,
+              skip_legacy: bool = False) -> Dict[str, Any]:
+    """Run the full matrix and return the ``BENCH_topology.json`` payload."""
+    from repro.experiments.runner import ScenarioRunner
+
+    sizes = ENGINE_SIZES_QUICK if quick else ENGINE_SIZES_FULL
+    engine: Dict[str, Dict[str, float]] = {}
+    for n in sizes:
+        row: Dict[str, float] = {}
+        native = _bench_engine(Topology, n)
+        row["native_rebuild_s"] = native["rebuild_s"]
+        row["native_query_s"] = native["query_s"]
+        if not skip_legacy:
+            from repro.net.oracle import OracleTopology
+
+            legacy = _bench_engine(OracleTopology, n)
+            row["oracle_rebuild_s"] = legacy["rebuild_s"]
+            row["oracle_query_s"] = legacy["query_s"]
+            if native["rebuild_s"] > 0:
+                row["rebuild_speedup"] = legacy["rebuild_s"] / native["rebuild_s"]
+            if native["query_s"] > 0:
+                row["query_speedup"] = legacy["query_s"] / native["query_s"]
+        engine[str(n)] = row
+
+    scenarios: Dict[str, Dict[str, Any]] = {}
+    for name, scenario, protocol in _scenario_matrix(quick):
+        start = time.perf_counter()
+        result = ScenarioRunner(scenario, protocol).run()
+        wall_s = time.perf_counter() - start
+        scenarios[name] = {
+            "wall_s": wall_s,
+            "counters": dict(result.perf_counters),
+        }
+
+    return {
+        "schema": SCHEMA_VERSION,
+        "quick": quick,
+        "engine": engine,
+        "scenarios": scenarios,
+    }
+
+
+def check_regression(payload: Dict[str, Any], baseline: Dict[str, Any],
+                     tolerance: float = DEFAULT_TOLERANCE) -> List[str]:
+    """Compare scenario counters against a baseline payload.
+
+    Returns human-readable failure strings (empty when within budget).
+    Only deterministic counters are gated — wall clock is reported but
+    never compared, so the gate behaves identically on any machine.
+    """
+    failures: List[str] = []
+    for name, base_cell in baseline.get("scenarios", {}).items():
+        cell = payload.get("scenarios", {}).get(name)
+        if cell is None:
+            failures.append(f"scenario {name!r} missing from this run")
+            continue
+        for counter, base_value in base_cell.get("counters", {}).items():
+            value = cell["counters"].get(counter, 0)
+            if base_value > 0 and value > base_value * (1 + tolerance):
+                failures.append(
+                    f"{name}: {counter} regressed "
+                    f"{base_value} -> {value} "
+                    f"(+{(value / base_value - 1):.0%}, "
+                    f"budget +{tolerance:.0%})")
+    return failures
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point (``repro bench``)."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro bench",
+        description="Topology/perf benchmark matrix -> BENCH_topology.json")
+    parser.add_argument("--quick", action="store_true",
+                        help="small matrix (CI perf-smoke)")
+    parser.add_argument("--out", default="BENCH_topology.json",
+                        help="output JSON path (default: %(default)s)")
+    parser.add_argument("--check", action="store_true",
+                        help="fail if scenario counters regress vs --baseline")
+    parser.add_argument("--baseline", default=str(DEFAULT_BASELINE),
+                        help="baseline JSON for --check (default: %(default)s)")
+    parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
+                        help="allowed counter growth (default: %(default)s)")
+    parser.add_argument("--skip-legacy", action="store_true",
+                        help="skip the networkx oracle timings "
+                             "(e.g. networkx not installed)")
+    args = parser.parse_args(argv)
+
+    payload = run_bench(quick=args.quick, skip_legacy=args.skip_legacy)
+    out_path = Path(args.out)
+    out_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    for n, row in payload["engine"].items():
+        line = (f"n={n:>4}  rebuild {row['native_rebuild_s'] * 1e3:8.2f} ms"
+                f"  queries {row['native_query_s'] * 1e3:8.2f} ms")
+        if "rebuild_speedup" in row:
+            line += (f"  (vs networkx: {row['rebuild_speedup']:.1f}x rebuild,"
+                     f" {row['query_speedup']:.1f}x query)")
+        print(line)
+    for name, cell in payload["scenarios"].items():
+        counters = cell["counters"]
+        print(f"{name:<18} {cell['wall_s']:6.2f} s"
+              f"  bfs_calls={counters.get('bfs_calls', 0)}"
+              f"  bfs_nodes_expanded={counters.get('bfs_nodes_expanded', 0)}"
+              f"  rebuilds={counters.get('graph_rebuilds', 0)}")
+    print(f"wrote {out_path}")
+
+    if args.check:
+        baseline_path = Path(args.baseline)
+        if not baseline_path.exists():
+            print(f"baseline {baseline_path} not found")
+            return 2
+        baseline = json.loads(baseline_path.read_text())
+        failures = check_regression(payload, baseline, args.tolerance)
+        if failures:
+            for failure in failures:
+                print(f"REGRESSION: {failure}")
+            return 1
+        print(f"regression check OK (budget +{args.tolerance:.0%} "
+              f"vs {baseline_path})")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -37,6 +37,11 @@ class Simulator:
         ['a', 'b']
     """
 
+    #: Lazy-cancel compaction threshold: once more than half the heap is
+    #: cancelled tombstones (and the heap is big enough to matter), the
+    #: dead entries are filtered out and the heap rebuilt in one pass.
+    COMPACT_MIN_SIZE = 64
+
     def __init__(self, seed: int = 0) -> None:
         self._now: float = 0.0
         self._heap: List[Event] = []
@@ -100,6 +105,26 @@ class Simulator:
         if handle.pending:
             handle.cancel()
             self._pending -= 1
+            self._maybe_compact()
+
+    def _maybe_compact(self) -> None:
+        """Drop cancelled tombstones once they dominate the heap.
+
+        Cancellation is lazy (events are only marked), so protocols that
+        restart timers constantly — every HELLO round, every quorum
+        probe — would otherwise grow the heap far beyond the live event
+        count.  Rebuilding is O(live); the total order on ``Event``
+        (time, priority, seq) makes the rebuilt heap deterministic, and
+        pending/peek/step semantics are unchanged.
+        """
+        heap = self._heap
+        if len(heap) < self.COMPACT_MIN_SIZE:
+            return
+        if len(heap) - self._pending <= len(heap) // 2:
+            return
+        live = [event for event in heap if not event.cancelled]
+        heapq.heapify(live)
+        self._heap = live
 
     # ------------------------------------------------------------------
     # Execution

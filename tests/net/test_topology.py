@@ -19,15 +19,15 @@ def make_topology(positions, tr=150.0, seed=1):
 
 def test_edges_respect_range():
     _, topo = make_topology([(0, 0), (100, 0), (300, 0)])
-    g = topo.graph()
-    assert g.has_edge(0, 1)
-    assert not g.has_edge(0, 2)
-    assert not g.has_edge(1, 2)
+    assert topo.has_edge(0, 1)
+    assert not topo.has_edge(0, 2)
+    assert not topo.has_edge(1, 2)
+    assert list(topo.edges()) == [(0, 1)]
 
 
 def test_edge_at_exact_range():
     _, topo = make_topology([(0, 0), (150, 0)])
-    assert topo.graph().has_edge(0, 1)
+    assert topo.has_edge(0, 1)
 
 
 def test_hops_along_chain():
@@ -134,3 +134,59 @@ def test_bfs_cache_consistent_with_fresh_query():
     first = topo.hops(0, 2)
     second = topo.hops(0, 2)
     assert first == second == 2
+
+
+def test_remove_node_evicts_entry():
+    """Eviction frees the population entry, not just the graph node."""
+    _, topo = make_topology([(0, 0), (100, 0), (200, 0)])
+    topo.remove_node(topo.get(1))
+    assert topo.get(1) is None
+    assert 1 not in topo._nodes
+    assert len(topo._nodes) == 2
+
+
+def test_permanent_crash_evicts_from_topology():
+    """A fault crash with no restart removes the node outright."""
+    from repro.faults.model import FaultModel
+    from repro.faults.spec import CrashEvent, FaultSpec
+
+    sim, topo = make_topology([(0, 0), (100, 0), (200, 0)])
+    model = FaultModel(
+        FaultSpec(crashes=(CrashEvent(node_id=1, at=1.0, restart_at=None),)),
+        sim, topo)
+    model.install()
+    sim.run(until=2.0)
+    assert topo.get(1) is None  # evicted, not merely dead
+    assert topo.hops(0, 2) is None
+
+
+def test_crash_with_restart_is_not_evicted():
+    from repro.faults.model import FaultModel
+    from repro.faults.spec import CrashEvent, FaultSpec
+
+    sim, topo = make_topology([(0, 0), (100, 0), (200, 0)])
+    model = FaultModel(
+        FaultSpec(crashes=(CrashEvent(node_id=1, at=1.0, restart_at=3.0),)),
+        sim, topo)
+    model.install()
+    sim.run(until=2.0)
+    assert topo.get(1) is not None and not topo.get(1).alive
+    assert topo.hops(0, 2) is None
+    sim.run(until=4.0)
+    assert topo.get(1).alive
+    assert topo.hops(0, 2) == 2
+
+
+def test_bounded_hops_query():
+    _, topo = make_topology([(0, 0), (120, 0), (240, 0), (360, 0)])
+    assert topo.hops(0, 3, max_hops=3) == 3
+    assert topo.hops(0, 3, max_hops=2) is None
+    assert topo.hops(0, 0, max_hops=1) == 0
+
+
+def test_within_hops_after_deeper_cached_query():
+    """A deep cached BFS must not leak >k entries into within_hops."""
+    _, topo = make_topology([(0, 0), (120, 0), (240, 0), (360, 0)])
+    topo.reachable(0)  # caches the full component walk
+    assert sorted(topo.within_hops(0, 2)) == [(1, 1), (2, 2)]
+    assert topo.reachable(0, max_hops=1) == {0: 0, 1: 1}

@@ -1,0 +1,75 @@
+"""Smoke tests for the repro bench harness (kept fast: tiny matrix)."""
+
+import json
+
+import pytest
+
+from repro.net.topology import Topology
+from repro.perf import bench
+
+
+def test_engine_microbench_returns_positive_timings():
+    row = bench._bench_engine(Topology, 30, rebuild_reps=2, query_reps=1)
+    assert row["rebuild_s"] > 0
+    assert row["query_s"] > 0
+
+
+def test_engine_microbench_oracle_api_compatible():
+    pytest.importorskip("networkx")
+    from repro.net.oracle import OracleTopology
+
+    row = bench._bench_engine(OracleTopology, 30, rebuild_reps=2,
+                              query_reps=1)
+    assert row["rebuild_s"] > 0
+
+
+def test_cli_writes_schema_and_checks_baseline(tmp_path, monkeypatch):
+    # Shrink the matrix so the CLI path runs in ~a second.
+    monkeypatch.setattr(bench, "ENGINE_SIZES_QUICK", (20,))
+
+    def small(quick):
+        from repro.experiments.scenario import Scenario
+        return [("tiny", Scenario(num_nodes=10, seed=1, settle_time=2.0),
+                 "quorum")]
+
+    monkeypatch.setattr(bench, "_scenario_matrix", small)
+    out = tmp_path / "BENCH_topology.json"
+    rc = bench.main(["--quick", "--skip-legacy", "--out", str(out)])
+    assert rc == 0
+    payload = json.loads(out.read_text())
+    assert payload["schema"] == bench.SCHEMA_VERSION
+    assert payload["quick"] is True
+    assert "20" in payload["engine"]
+    assert payload["scenarios"]["tiny"]["counters"]["bfs_calls"] > 0
+
+    # Same matrix as its own baseline: the gate must pass ...
+    rc = bench.main(["--quick", "--skip-legacy", "--out", str(out),
+                     "--check", "--baseline", str(out)])
+    assert rc == 0
+    # ... and fail once the baseline counters are tightened below reality.
+    squeezed = dict(payload)
+    squeezed["scenarios"] = {
+        "tiny": {"wall_s": 0.0,
+                 "counters": {"bfs_calls": 1}}}
+    baseline_path = tmp_path / "baseline.json"
+    baseline_path.write_text(json.dumps(squeezed))
+    rc = bench.main(["--quick", "--skip-legacy", "--out", str(out),
+                     "--check", "--baseline", str(baseline_path)])
+    assert rc == 1
+
+
+def test_missing_baseline_is_an_error(tmp_path):
+    import repro.perf.bench as bench_mod
+    rc_args = ["--quick", "--skip-legacy",
+               "--out", str(tmp_path / "b.json"),
+               "--check", "--baseline", str(tmp_path / "missing.json")]
+    # Shrink via module attributes to keep this fast.
+    sizes = bench_mod.ENGINE_SIZES_QUICK
+    matrix = bench_mod._scenario_matrix
+    try:
+        bench_mod.ENGINE_SIZES_QUICK = (15,)
+        bench_mod._scenario_matrix = lambda quick: []
+        assert bench_mod.main(rc_args) == 2
+    finally:
+        bench_mod.ENGINE_SIZES_QUICK = sizes
+        bench_mod._scenario_matrix = matrix

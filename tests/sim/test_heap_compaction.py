@@ -1,0 +1,89 @@
+"""Lazy-cancel heap compaction: tombstones are purged, semantics intact."""
+
+import heapq
+
+from repro.sim.engine import Simulator
+
+
+def test_compaction_purges_cancelled_tombstones():
+    sim = Simulator()
+    handles = [sim.schedule(float(i + 1), lambda: None) for i in range(200)]
+    assert len(sim._heap) == 200
+    # Cancel from the back so none are removed by peek()'s top-popping.
+    for handle in handles[60:]:
+        sim.cancel(handle)
+    assert sim.pending_events == 60
+    # Compaction fires whenever tombstones exceed half the heap, so the
+    # heap stays within 2x the live count instead of keeping all 140
+    # cancelled entries around.
+    assert len(sim._heap) < 200
+    assert len(sim._heap) <= 2 * sim.pending_events
+    live = sum(1 for event in sim._heap if not event.cancelled)
+    assert live == 60
+
+
+def test_no_compaction_below_size_floor():
+    sim = Simulator()
+    handles = [sim.schedule(float(i + 1), lambda: None) for i in range(20)]
+    for handle in handles[5:]:
+        sim.cancel(handle)
+    # Tiny heaps are left alone — compaction overhead isn't worth it.
+    assert len(sim._heap) == 20
+    assert sim.pending_events == 5
+
+
+def test_pending_peek_and_order_unchanged_by_compaction():
+    """The compacted simulator fires exactly what an uncompacted one would."""
+
+    def build(compact):
+        sim = Simulator()
+        if not compact:
+            sim.COMPACT_MIN_SIZE = 1 << 30  # disable
+        fired = []
+        handles = []
+        for i in range(300):
+            handles.append(
+                sim.schedule(float(i % 17) + 1.0, fired.append, i,
+                             priority=i % 3))
+        for i, handle in enumerate(handles):
+            if i % 4 != 0:
+                sim.cancel(handle)
+        return sim, fired
+
+    sim_a, fired_a = build(compact=True)
+    sim_b, fired_b = build(compact=False)
+    assert sim_a.pending_events == sim_b.pending_events
+    assert sim_a.peek() == sim_b.peek()
+    sim_a.run()
+    sim_b.run()
+    assert fired_a == fired_b
+    assert sim_a.now == sim_b.now
+
+
+def test_compacted_heap_is_a_valid_heap():
+    sim = Simulator()
+    handles = [sim.schedule(float(997 - i), lambda: None) for i in range(150)]
+    for handle in handles[:100]:
+        sim.cancel(handle)
+    reference = sorted(sim._heap)
+    verify = list(sim._heap)
+    popped = [heapq.heappop(verify) for _ in range(len(verify))]
+    assert popped == reference
+
+
+def test_timer_restart_churn_keeps_heap_bounded():
+    """Realistic churn: a constantly-restarted timeout must not grow the
+    heap without bound (the original lazy-cancel leak)."""
+    from repro.sim.timers import Timer
+
+    sim = Simulator()
+    fired = []
+    timer = Timer(sim, fired.append)
+    for i in range(500):
+        timer.restart(10.0, i)  # cancels the previous schedule each time
+        sim.schedule(0.001 * (i + 1), lambda: None)
+    # 500 cancelled timer events + 500 live ticks: without compaction the
+    # heap would hold ~1000 entries.
+    assert len(sim._heap) <= 2 * sim.pending_events + Simulator.COMPACT_MIN_SIZE
+    sim.run()
+    assert fired[-1] == 499  # only the last restart's payload fires
