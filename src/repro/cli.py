@@ -1,18 +1,22 @@
 """Command-line interface.
 
-Five subcommands::
+Subcommands::
 
     python -m repro run      --protocol quorum --nodes 100 --seed 1
     python -m repro compare  --nodes 80 --seed 1
     python -m repro figure   fig05 --workers 4  # any figNN or table1
     python -m repro sweep    --protocols quorum manetconf --nodes 50 100
     python -m repro layout   --nodes 100      # Fig. 4-style ASCII map
+    python -m repro bench    --quick          # topology perf matrix
+    python -m repro lint     --strict         # static invariant checks
 
 ``run`` prints the quickstart-style report for one protocol; ``compare``
 tabulates all protocols on the same workload; ``figure`` regenerates a
 paper figure's series (optionally fanned out over worker processes);
 ``sweep`` runs an explicit (protocol x size x seed) grid through the
-parallel executor; ``layout`` draws the clustered network.
+parallel executor; ``layout`` draws the clustered network; ``bench``
+runs the perf matrix; ``lint`` runs the AST-based determinism and
+protocol-invariant analyzer (:mod:`repro.lint`).
 """
 
 from __future__ import annotations
@@ -38,6 +42,7 @@ from repro.experiments.sweep import (
     set_default_executor,
 )
 from repro.faults import FaultSpec
+from repro.lint import cli as lint_cli
 
 FIGURES = {
     "fig05": figures.fig05_latency_vs_size,
@@ -144,6 +149,11 @@ def build_parser() -> argparse.ArgumentParser:
     bench_p.add_argument("--tolerance", type=float, default=0.25)
     bench_p.add_argument("--skip-legacy", action="store_true",
                          help="skip networkx-oracle timings")
+
+    lint_p = sub.add_parser(
+        "lint",
+        help="static determinism & protocol-invariant checks")
+    lint_cli.configure_parser(lint_p)
     return parser
 
 
@@ -317,6 +327,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "sweep": cmd_sweep,
         "layout": cmd_layout,
         "bench": cmd_bench,
+        "lint": lint_cli.run,
     }
     try:
         return handlers[args.command](args)

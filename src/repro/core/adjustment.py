@@ -56,7 +56,10 @@ class AdjustmentMixin:
         node = self.ctx.node_of(member)
         if node is None or not node.alive:
             return False
-        return self.ctx.topology.hops(self.node_id, member) is not None
+        # Deliberately unbounded: liveness asks "still in my partition
+        # at all", not "still within k hops".
+        return self.ctx.topology.hops(
+            self.node_id, member, max_hops=None) is not None
 
     def _audit(self) -> None:
         if not self.is_allocator():
@@ -98,7 +101,7 @@ class AdjustmentMixin:
                 (
                     (hops, other)
                     for other, hops in self.ctx.topology.reachable(
-                        self.node_id).items()
+                        self.node_id, max_hops=None).items()
                     if other != self.node_id and hops > 0
                     and self.ctx.is_head(other)
                 ),

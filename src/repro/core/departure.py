@@ -159,8 +159,11 @@ class DepartureMixin:
 
         candidates = [
             member for member in self.head.qdset.active_members()
+            # Deliberately unbounded: any reachable co-holder in the
+            # partition may take the block, however far away.
             if self.ctx.is_head(member)
-            and self.ctx.topology.hops(self.node_id, member) is not None
+            and self.ctx.topology.hops(
+                self.node_id, member, max_hops=None) is not None
         ]
         if candidates:
             return min(candidates, key=lambda mid: (replica_size(mid), mid))

@@ -112,7 +112,8 @@ class PartitionMixin:
         any_head = False
         # Deliberately unbounded: orphan rescue asks the whole partition
         # whether any head of the node's own network still exists.
-        for other, hops in self.ctx.topology.reachable(self.node_id).items():
+        for other, hops in self.ctx.topology.reachable(
+                self.node_id, max_hops=None).items():
             if other == self.node_id or hops == 0:
                 continue
             if not self.ctx.is_head(other):
@@ -261,7 +262,7 @@ class PartitionMixin:
         # of the whole component, so the scan must cover all of it.
         reachable_heads = [
             other for other, hops in self.ctx.topology.reachable(
-                self.node_id).items()
+                self.node_id, max_hops=None).items()
             if other != self.node_id and hops > 0 and self.ctx.is_head(other)
         ]
         if not reachable_heads:

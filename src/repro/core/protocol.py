@@ -202,7 +202,8 @@ class QuorumProtocolAgent(
         # IV-B's "ask any allocator" escape hatch).
         candidates = self._rank_by_network([
             (other, hops)
-            for other, hops in self.ctx.topology.reachable(self.node_id).items()
+            for other, hops in self.ctx.topology.reachable(
+                self.node_id, max_hops=None).items()
             if other != self.node_id and hops > 0 and self.ctx.is_head(other)
         ])
         if candidates:
@@ -507,7 +508,8 @@ class QuorumProtocolAgent(
         }, Category.CONFIG)
 
     def _cross_owner_conflict(self, proposer: int, owner_id: int,
-                              address: int, block) -> bool:
+                              address: int,
+                              block: Optional[Tuple[int, int]]) -> bool:
         """Does a *different* live head's state also cover this address?
 
         Churn (returns, rollbacks, absorptions racing each other) can

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.addrspace.block import Block
 from repro.addrspace.pool import AddressPool
@@ -53,7 +53,7 @@ class HeadState:
         self.configured: Dict[int, int] = {}
         # Nodes administered after migrating away from their configurer
         # (Section IV-C-1): ip -> (node_id, configurer_ip).
-        self.administered: Dict[int, tuple] = {}
+        self.administered: Dict[int, Tuple[int, int]] = {}
         self.configurer_id = configurer_id
         self.configurer_ip = configurer_ip
         # Monotone snapshot version stamped on every replica snapshot

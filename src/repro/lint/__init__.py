@@ -1,0 +1,36 @@
+"""repro.lint — AST-based determinism & protocol-invariant analyzer.
+
+A dependency-free static analyzer enforcing the invariants the
+reproduction's guarantees rest on: simulated-clock-only time, named RNG
+streams, the unified ``Transport.send`` API, frozen message
+dataclasses, explicit BFS hop bounds, config-owned protocol timers,
+centralized quorum arithmetic, and a dependency-free runtime.
+
+Public surface:
+
+* :func:`run_lint` / :class:`LintReport` — programmatic entry point;
+* :class:`Rule`, :class:`Finding`, :class:`Severity`,
+  :class:`FileContext` — rule authoring (see docs/API.md);
+* :data:`ALL_RULES`, :data:`RULES_BY_NAME`, :func:`resolve_rules` —
+  the built-in suite;
+* :class:`Baseline` — committed-findings support for ``--baseline``;
+* ``python -m repro lint`` — the CLI (see :mod:`repro.lint.cli`).
+"""
+
+from repro.lint.core import FileContext, Finding, Rule, Severity
+from repro.lint.engine import Baseline, LintReport, lint_file, run_lint
+from repro.lint.rules import ALL_RULES, RULES_BY_NAME, resolve_rules
+
+__all__ = [
+    "ALL_RULES",
+    "Baseline",
+    "FileContext",
+    "Finding",
+    "LintReport",
+    "RULES_BY_NAME",
+    "Rule",
+    "Severity",
+    "lint_file",
+    "resolve_rules",
+    "run_lint",
+]

@@ -1,0 +1,154 @@
+"""The ``repro lint`` subcommand.
+
+Usage::
+
+    python -m repro lint                      # scan src, examples, benchmarks
+    python -m repro lint src/repro/core       # explicit paths
+    python -m repro lint --select send-api    # one rule only
+    python -m repro lint --strict --json-out lint-findings.json   # CI
+    python -m repro lint --write-baseline lint-baseline.json
+    python -m repro lint --baseline lint-baseline.json
+
+Exit codes: 0 clean (warnings tolerated unless ``--strict``),
+1 findings, 2 bad usage / unreadable input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, TextIO
+
+from repro.lint.engine import Baseline, LintReport, run_lint
+from repro.lint.rules import ALL_RULES, RULES_BY_NAME
+
+#: Scanned when no paths are given (relative to the working directory);
+#: missing roots are skipped so the default works from a bare checkout.
+DEFAULT_ROOTS = ("src", "examples", "benchmarks")
+
+
+def configure_parser(parser: argparse.ArgumentParser) -> None:
+    """Attach the lint flags to ``parser`` (shared with ``repro.cli``)."""
+    parser.add_argument(
+        "paths", nargs="*", metavar="PATH",
+        help="files/directories to scan "
+             f"(default: {' '.join(DEFAULT_ROOTS)})")
+    parser.add_argument(
+        "--select", nargs="+", metavar="RULE", default=None,
+        choices=sorted(RULES_BY_NAME),
+        help="run only these rules")
+    parser.add_argument(
+        "--ignore", nargs="+", metavar="RULE", default=None,
+        choices=sorted(RULES_BY_NAME),
+        help="skip these rules")
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="stdout format (default: text)")
+    parser.add_argument(
+        "--json-out", metavar="FILE", default=None,
+        help="additionally write the JSON report to FILE "
+             "(CI artifact), independent of --format")
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="exit non-zero on warnings too, not just errors")
+    parser.add_argument(
+        "--baseline", metavar="FILE", default=None,
+        help="subtract the committed baseline: findings recorded there "
+             "are reported separately and do not fail the run")
+    parser.add_argument(
+        "--write-baseline", metavar="FILE", default=None,
+        help="write the current findings as the new baseline and exit 0")
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule table and exit")
+
+
+def _list_rules(out: TextIO) -> None:
+    width = max(len(rule.name) for rule in ALL_RULES)
+    for rule in ALL_RULES:
+        print(f"{rule.name:<{width}}  {rule.severity.value:<7}  "
+              f"{rule.description}", file=out)
+
+
+def _resolve_paths(raw: List[str]) -> List[Path]:
+    if raw:
+        return [Path(p) for p in raw]
+    return [Path(root) for root in DEFAULT_ROOTS if Path(root).exists()]
+
+
+def run(args: argparse.Namespace, out: Optional[TextIO] = None) -> int:
+    """Execute a parsed ``repro lint`` invocation."""
+    stream = out if out is not None else sys.stdout
+    if args.list_rules:
+        _list_rules(stream)
+        return 0
+
+    paths = _resolve_paths(list(args.paths))
+    if not paths:
+        print("repro lint: no paths to scan "
+              f"(none of {', '.join(DEFAULT_ROOTS)} exist here)",
+              file=sys.stderr)
+        return 2
+
+    baseline = None
+    if args.baseline is not None and args.write_baseline is None:
+        baseline_path = Path(args.baseline)
+        if not baseline_path.exists():
+            print(f"repro lint: baseline {baseline_path} not found "
+                  "(create it with --write-baseline)", file=sys.stderr)
+            return 2
+        try:
+            baseline = Baseline.load(baseline_path)
+        except (ValueError, json.JSONDecodeError) as exc:
+            print(f"repro lint: bad baseline {baseline_path}: {exc}",
+                  file=sys.stderr)
+            return 2
+
+    try:
+        report = run_lint(
+            paths,
+            select=set(args.select) if args.select else None,
+            ignore=set(args.ignore) if args.ignore else None,
+            baseline=baseline,
+        )
+    except (OSError, ValueError) as exc:
+        print(f"repro lint: {exc}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline is not None:
+        target = Path(args.write_baseline)
+        Baseline.from_findings(report.findings).dump(target)
+        print(f"wrote baseline with {len(report.findings)} finding(s) "
+              f"to {target}", file=stream)
+        return 0
+
+    return _emit(report, args, stream)
+
+
+def _emit(report: LintReport, args: argparse.Namespace,
+          stream: TextIO) -> int:
+    if args.json_out is not None:
+        Path(args.json_out).write_text(
+            json.dumps(report.to_json(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8")
+    if args.format == "json":
+        print(json.dumps(report.to_json(), indent=2, sort_keys=True),
+              file=stream)
+    else:
+        print(report.render_text(), file=stream)
+    return report.exit_code(strict=args.strict)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Standalone entry point (``python -m repro.lint.cli``)."""
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="AST-based determinism & protocol-invariant checks")
+    configure_parser(parser)
+    return run(parser.parse_args(argv))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

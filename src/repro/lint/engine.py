@@ -1,0 +1,248 @@
+"""File discovery, rule execution, baselines and report rendering.
+
+The engine walks ``.py`` files, infers each file's dotted module name
+(so rules can scope themselves to packages), runs the active rules,
+filters suppressed findings, and renders text or JSON.  A *baseline*
+(a committed JSON list of known findings keyed by rule + path + source
+line) lets a new rule land before every finding it surfaces is fixed:
+baselined findings are reported separately and do not fail the run.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.lint.core import FileContext, Finding, Rule, Severity
+from repro.lint.rules import resolve_rules
+
+BASELINE_SCHEMA_VERSION = 1
+JSON_SCHEMA_VERSION = 1
+
+
+def module_name_for(path: Path) -> Optional[str]:
+    """Infer the dotted module name from a file path.
+
+    The convention is positional: the module path starts at the last
+    ``repro`` directory component (``.../src/repro/core/state.py`` ->
+    ``repro.core.state``), which also maps fixture trees laid out as
+    ``<tmp>/src/repro/...`` in tests.  Files outside a ``repro``
+    package (examples, benchmarks) have no module name; per-package
+    rules skip them while path-scoped rules (send-api, hop-bound)
+    still apply.
+    """
+    parts = [part for part in path.parts]
+    if path.suffix == ".py":
+        parts[-1] = path.stem
+    for index in range(len(parts) - 1, -1, -1):
+        if parts[index] == "repro":
+            dotted = parts[index:]
+            if dotted[-1] == "__init__":
+                dotted = dotted[:-1]
+            return ".".join(dotted)
+    return None
+
+
+def iter_python_files(paths: Sequence[Path]) -> List[Path]:
+    """Expand files/directories into a sorted, de-duplicated file list."""
+    seen: Set[Path] = set()
+    out: List[Path] = []
+    for path in paths:
+        if path.is_dir():
+            candidates: Iterable[Path] = sorted(path.rglob("*.py"))
+        else:
+            candidates = (path,)
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                out.append(candidate)
+    return out
+
+
+def _relpath(path: Path, root: Optional[Path]) -> str:
+    base = root if root is not None else Path.cwd()
+    try:
+        return path.resolve().relative_to(base.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+@dataclasses.dataclass(frozen=True)
+class LintReport:
+    """Outcome of one lint run."""
+
+    findings: Tuple[Finding, ...]
+    baselined: Tuple[Finding, ...]
+    files_scanned: int
+    rule_names: Tuple[str, ...]
+    parse_errors: Tuple[str, ...] = ()
+
+    def counts_by_rule(self) -> Dict[str, int]:
+        return dict(Counter(f.rule for f in self.findings))
+
+    def has_errors(self) -> bool:
+        return any(f.severity is Severity.ERROR for f in self.findings)
+
+    def exit_code(self, strict: bool = False) -> int:
+        """0 clean, 1 findings (warnings only fail under ``strict``)."""
+        if self.parse_errors:
+            return 2
+        if self.has_errors():
+            return 1
+        if strict and self.findings:
+            return 1
+        return 0
+
+    # -- rendering -----------------------------------------------------
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "schema": JSON_SCHEMA_VERSION,
+            "rules": list(self.rule_names),
+            "files_scanned": self.files_scanned,
+            "findings": [f.to_json() for f in self.findings],
+            "baselined": [f.to_json() for f in self.baselined],
+            "counts": self.counts_by_rule(),
+            "parse_errors": list(self.parse_errors),
+        }
+
+    def render_text(self) -> str:
+        lines = [f.render() for f in self.findings]
+        lines += [f"parse error: {err}" for err in self.parse_errors]
+        total = len(self.findings)
+        summary = (f"{self.files_scanned} files scanned, "
+                   f"{len(self.rule_names)} rules, "
+                   f"{total} finding{'s' if total != 1 else ''}")
+        if self.baselined:
+            summary += f" ({len(self.baselined)} baselined)"
+        if total:
+            per_rule = ", ".join(
+                f"{rule}={count}"
+                for rule, count in sorted(self.counts_by_rule().items()))
+            summary += f" [{per_rule}]"
+        lines.append(summary)
+        return "\n".join(lines)
+
+
+def lint_file(path: Path, rules: Sequence[Rule],
+              root: Optional[Path] = None) -> List[Finding]:
+    """Run ``rules`` over one file (suppressions applied)."""
+    source = path.read_text(encoding="utf-8")
+    tree = ast.parse(source, filename=str(path))
+    ctx = FileContext(
+        path=path,
+        relpath=_relpath(path, root),
+        module=module_name_for(path),
+        source=source,
+        tree=tree,
+    )
+    findings: List[Finding] = []
+    for rule in rules:
+        if not rule.applies(ctx):
+            continue
+        for finding in rule.check(ctx):
+            if not ctx.suppressed(finding.rule, finding.line):
+                findings.append(finding)
+    return findings
+
+
+def run_lint(paths: Sequence[Path],
+             select: Optional[Set[str]] = None,
+             ignore: Optional[Set[str]] = None,
+             rules: Optional[Sequence[Rule]] = None,
+             baseline: Optional["Baseline"] = None,
+             root: Optional[Path] = None) -> LintReport:
+    """Lint ``paths`` and return a :class:`LintReport`.
+
+    Args:
+        paths: files and/or directories to scan.
+        select: restrict to these rule names (default: all).
+        ignore: drop these rule names from the active set.
+        rules: explicit rule objects (overrides select/ignore).
+        baseline: known findings to report separately, not fail on.
+        root: paths in findings are rendered relative to this directory
+            (default: the current working directory).
+    """
+    if rules is None:
+        rules = resolve_rules(select=select, ignore=ignore)
+    files = iter_python_files([Path(p) for p in paths])
+    findings: List[Finding] = []
+    parse_errors: List[str] = []
+    for path in files:
+        try:
+            findings.extend(lint_file(path, rules, root=root))
+        except SyntaxError as exc:
+            parse_errors.append(f"{_relpath(path, root)}: {exc.msg} "
+                                f"(line {exc.lineno})")
+    findings.sort(key=Finding.sort_key)
+    fresh: Tuple[Finding, ...] = tuple(findings)
+    known: Tuple[Finding, ...] = ()
+    if baseline is not None:
+        fresh, known = baseline.split(findings)
+    return LintReport(
+        findings=fresh,
+        baselined=known,
+        files_scanned=len(files),
+        rule_names=tuple(rule.name for rule in rules),
+        parse_errors=tuple(parse_errors),
+    )
+
+
+class Baseline:
+    """A committed multiset of known findings.
+
+    Stored as JSON; entries key on ``(rule, path, stripped source
+    line)`` rather than line numbers so unrelated edits that shift a
+    file do not invalidate the baseline.
+    """
+
+    def __init__(self, entries: Iterable[Tuple[str, str, str]] = ()) -> None:
+        self._entries = Counter(entries)
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        return cls(f.baseline_key() for f in findings)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        if payload.get("schema") != BASELINE_SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported baseline schema in {path}: "
+                f"{payload.get('schema')!r}")
+        return cls(
+            (entry["rule"], entry["path"], entry["line_text"])
+            for entry in payload.get("findings", ()))
+
+    def dump(self, path: Path) -> None:
+        entries = [
+            {"rule": rule, "path": rel, "line_text": text}
+            for (rule, rel, text), count in sorted(self._entries.items())
+            for _ in range(count)
+        ]
+        payload = {"schema": BASELINE_SCHEMA_VERSION, "findings": entries}
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                        encoding="utf-8")
+
+    def __len__(self) -> int:
+        return sum(self._entries.values())
+
+    def split(
+        self, findings: Sequence[Finding],
+    ) -> Tuple[Tuple[Finding, ...], Tuple[Finding, ...]]:
+        """Partition into (fresh, baselined), consuming multiset slots."""
+        remaining = Counter(self._entries)
+        fresh: List[Finding] = []
+        known: List[Finding] = []
+        for finding in findings:
+            key = finding.baseline_key()
+            if remaining.get(key, 0) > 0:
+                remaining[key] -= 1
+                known.append(finding)
+            else:
+                fresh.append(finding)
+        return tuple(fresh), tuple(known)

@@ -223,13 +223,14 @@ class Transport:
                       category: Category) -> SendOutcome:
         if not src.alive:
             return SendOutcome.failure()
-        msg.src = src.node_id
-        msg.dst = dst.node_id
-        msg.sent_at = self.sim.now
-        hops = self.topology.hops(src.node_id, dst.node_id)
+        msg = dataclasses.replace(
+            msg, src=src.node_id, dst=dst.node_id, sent_at=self.sim.now)
+        # Routing is the one deliberately unbounded hop query: a unicast
+        # must find the destination wherever it sits in the component.
+        hops = self.topology.hops(src.node_id, dst.node_id, max_hops=None)
         if hops is None or not dst.alive:
             return SendOutcome.failure()
-        msg.hops = hops
+        msg = dataclasses.replace(msg, hops=hops)
         if self.faults is not None:
             lost_at = self.faults.unicast_loss_hop(
                 src.node_id, dst.node_id, hops)
@@ -245,10 +246,8 @@ class Transport:
                         category: Category) -> SendOutcome:
         if not src.alive:
             return SendOutcome.failure()
-        msg.src = src.node_id
-        msg.dst = None
-        msg.sent_at = self.sim.now
-        msg.hops = 1
+        msg = dataclasses.replace(
+            msg, src=src.node_id, dst=None, sent_at=self.sim.now, hops=1)
         self.stats.charge(category, 1)
         receivers: List[Tuple[int, int]] = []
         dropped = 0
@@ -277,9 +276,8 @@ class Transport:
     ) -> SendOutcome:
         if not src.alive:
             return SendOutcome.failure()
-        msg.src = src.node_id
-        msg.dst = None
-        msg.sent_at = self.sim.now
+        msg = dataclasses.replace(
+            msg, src=src.node_id, dst=None, sent_at=self.sim.now)
         # Bounded floods only explore the max_hops-ring: the BFS stops
         # at that level instead of walking the whole component.  The
         # level-ordered prefix is identical to filtering a full search.

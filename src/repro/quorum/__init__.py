@@ -10,7 +10,13 @@ cluster head keeps for its adjacent cluster heads' IP spaces.
 
 from repro.quorum.system import MajorityQuorumSystem, QuorumSystem, is_quorum_system
 from repro.quorum.linear import DynamicLinearVoting
-from repro.quorum.voting import ReadWriteThresholds, Vote, VoteCollector
+from repro.quorum.voting import (
+    ReadWriteThresholds,
+    Vote,
+    VoteCollector,
+    half_of,
+    majority_threshold,
+)
 from repro.quorum.replica import Replica, ReplicaStore
 
 __all__ = [
@@ -21,6 +27,8 @@ __all__ = [
     "ReadWriteThresholds",
     "Vote",
     "VoteCollector",
+    "half_of",
+    "majority_threshold",
     "Replica",
     "ReplicaStore",
 ]

@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import AbstractSet, Optional
 
 from repro.quorum.system import MajorityQuorumSystem
+from repro.quorum.voting import half_of
 
 
 class DynamicLinearVoting(MajorityQuorumSystem):
@@ -29,7 +30,7 @@ class DynamicLinearVoting(MajorityQuorumSystem):
             return True
         if (
             size % 2 == 0
-            and len(members) == size // 2
+            and len(members) == half_of(size)
             and self.distinguished is not None
             and self.distinguished in members
         ):
@@ -39,5 +40,5 @@ class DynamicLinearVoting(MajorityQuorumSystem):
     def required_with(self, universe_size: int, has_distinguished: bool) -> int:
         """Votes needed given whether the distinguished node responds."""
         if universe_size % 2 == 0 and has_distinguished:
-            return universe_size // 2
+            return half_of(universe_size)
         return super().quorum_threshold(universe_size)

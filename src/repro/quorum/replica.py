@@ -9,7 +9,7 @@ QuorumSpace, Section IV-A).
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.addrspace.block import Block
 from repro.addrspace.records import AddressLedger, AddressRecord, AddressStatus
@@ -25,7 +25,7 @@ class Replica:
     """
 
     def __init__(self, owner: int, blocks: List[Block],
-                 holders: Optional[set] = None, version: int = 0) -> None:
+                 holders: Optional[Set[int]] = None, version: int = 0) -> None:
         self.owner = owner
         self.blocks = list(blocks)
         self.ledger = AddressLedger()

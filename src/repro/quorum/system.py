@@ -13,6 +13,8 @@ import abc
 import itertools
 from typing import AbstractSet, FrozenSet, Iterable, List, Set
 
+from repro.quorum.voting import majority_threshold
+
 
 def is_quorum_system(quorums: Iterable[AbstractSet[int]],
                      universe: AbstractSet[int]) -> bool:
@@ -52,7 +54,7 @@ class MajorityQuorumSystem(QuorumSystem):
     """
 
     def quorum_threshold(self, universe_size: int) -> int:
-        return universe_size // 2 + 1
+        return majority_threshold(universe_size)
 
     def is_quorum(self, responders: AbstractSet[int],
                   universe: AbstractSet[int]) -> bool:

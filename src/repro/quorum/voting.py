@@ -10,10 +10,34 @@ time stamp is chosen to determine the availability of the address"
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Optional, Set
+from typing import TYPE_CHECKING, Dict, Optional, Set
 
 from repro.addrspace.records import AddressRecord, AddressStatus
-from repro.quorum.system import QuorumSystem
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.quorum.system import QuorumSystem
+
+
+def majority_threshold(total: int) -> int:
+    """Smallest quorum satisfying ``w > v/2`` over ``total`` votes.
+
+    The one place the paper's Section II-C write condition is turned
+    into arithmetic: ``floor(v/2) + 1``.  With an odd universe this is
+    ``(v+1)/2``; with an even universe a bare half does *not* qualify
+    (two disjoint halves could otherwise both proceed).  The
+    ``quorum-arith`` lint rule keeps callers from re-deriving it inline.
+    """
+    return total // 2 + 1
+
+
+def half_of(total: int) -> int:
+    """Exactly half of an (even) universe — the linear-voting set size.
+
+    Dynamic linear voting (Section II-D) accepts a half-set quorum iff
+    it contains the distinguished node; this helper names that size so
+    the ``// 2`` never appears at call sites.
+    """
+    return total // 2
 
 
 @dataclasses.dataclass(frozen=True)
@@ -38,7 +62,7 @@ class ReadWriteThresholds:
     @classmethod
     def majority(cls, total: int) -> "ReadWriteThresholds":
         """The symmetric choice ``r = w = floor(v/2) + 1``."""
-        majority = total // 2 + 1
+        majority = majority_threshold(total)
         return cls(read=majority, write=majority, total=total)
 
 

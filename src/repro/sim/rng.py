@@ -20,6 +20,19 @@ def derive_seed(master: int, name: str) -> int:
     return int.from_bytes(digest[:8], "big")
 
 
+def generator_from_seed(seed: int) -> random.Random:
+    """A bare ``random.Random`` seeded directly, no name derivation.
+
+    The blessed constructor for the rare consumer that needs a raw
+    generator outside the :class:`RandomStreams` registry (e.g. the
+    ``repro bench`` population builder, whose layouts are keyed by the
+    literal seed).  Centralizing construction here is what lets the
+    ``rng-stream`` lint rule guarantee no ad-hoc generators exist
+    anywhere else in the runtime.
+    """
+    return random.Random(seed)
+
+
 def spawn_key(master: int, *parts: object) -> int:
     """Derive a 64-bit seed from a master seed and a structured key path.
 

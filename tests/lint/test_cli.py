@@ -1,0 +1,152 @@
+"""End-to-end ``repro lint`` CLI behavior (exit codes, formats, baseline)."""
+
+import json
+
+import pytest
+
+from repro import cli as repro_cli
+from repro.lint import cli as lint_cli
+from repro.lint.rules import ALL_RULES
+
+BAD_DETERMINISM = """\
+import time
+
+def stamp():
+    return time.time()
+"""
+
+BAD_QUORUM = """\
+def half(n):
+    return n // 2
+"""
+
+CLEAN = """\
+def stamp(ctx):
+    return ctx.sim.now
+"""
+
+
+@pytest.fixture
+def checkout(tree, monkeypatch):
+    """A scratch checkout the CLI scans via its default roots."""
+    monkeypatch.chdir(tree.root)
+    return tree
+
+
+def lint(*argv):
+    return repro_cli.main(["lint", *argv])
+
+
+def test_clean_tree_exits_zero(checkout, capsys):
+    checkout.write("src/repro/core/good.py", CLEAN)
+    assert lint() == 0
+    out = capsys.readouterr().out
+    assert "1 files scanned, 8 rules, 0 findings" in out
+
+
+def test_findings_exit_one_with_rendered_lines(checkout, capsys):
+    checkout.write("src/repro/core/bad.py", BAD_DETERMINISM)
+    assert lint() == 1
+    out = capsys.readouterr().out
+    assert "src/repro/core/bad.py:4:" in out
+    assert "error[determinism]" in out
+
+
+def test_select_and_ignore(checkout, capsys):
+    checkout.write("src/repro/core/bad.py", BAD_DETERMINISM)
+    assert lint("--select", "send-api") == 0
+    assert lint("--ignore", "determinism") == 0
+    assert lint("--select", "determinism") == 1
+    capsys.readouterr()
+
+
+def test_warnings_pass_unless_strict(checkout, capsys):
+    checkout.write("src/repro/quorum/bad.py", BAD_QUORUM)
+    assert lint() == 0
+    assert lint("--strict") == 1
+    capsys.readouterr()
+
+
+def test_json_format_schema(checkout, capsys):
+    checkout.write("src/repro/core/bad.py", BAD_DETERMINISM)
+    assert lint("--format", "json") == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["schema"] == 1
+    assert payload["files_scanned"] == 1
+    assert payload["counts"] == {"determinism": 1}
+    assert payload["parse_errors"] == []
+    (finding,) = payload["findings"]
+    assert finding["rule"] == "determinism"
+    assert finding["severity"] == "error"
+    assert finding["path"] == "src/repro/core/bad.py"
+    assert finding["line"] == 4
+    assert finding["line_text"] == "return time.time()"
+
+
+def test_json_out_writes_artifact(checkout, capsys, tmp_path):
+    checkout.write("src/repro/core/bad.py", BAD_DETERMINISM)
+    artifact = tmp_path / "lint-findings.json"
+    assert lint("--json-out", str(artifact)) == 1
+    payload = json.loads(artifact.read_text())
+    assert payload["counts"] == {"determinism": 1}
+    # stdout stays in text format
+    assert "error[determinism]" in capsys.readouterr().out
+
+
+def test_explicit_paths_override_default_roots(checkout, capsys):
+    checkout.write("src/repro/core/bad.py", BAD_DETERMINISM)
+    checkout.write("src/repro/net/good.py", CLEAN)
+    assert lint("src/repro/net") == 0
+    capsys.readouterr()
+
+
+def test_list_rules(checkout, capsys):
+    assert lint("--list-rules") == 0
+    out = capsys.readouterr().out
+    for rule in ALL_RULES:
+        assert rule.name in out
+    assert "error" in out and "warning" in out
+
+
+def test_unknown_rule_rejected(checkout, capsys):
+    with pytest.raises(SystemExit):
+        lint("--select", "no-such-rule")
+    capsys.readouterr()
+
+
+def test_parse_error_exits_two(checkout, capsys):
+    checkout.write("src/repro/core/broken.py", "def broken(:\n")
+    assert lint() == 2
+    assert "parse error" in capsys.readouterr().out
+
+
+def test_missing_baseline_exits_two(checkout, capsys):
+    checkout.write("src/repro/core/good.py", CLEAN)
+    assert lint("--baseline", "no-such-baseline.json") == 2
+    assert "not found" in capsys.readouterr().err
+
+
+def test_write_then_compare_baseline_cycle(checkout, capsys, tmp_path):
+    checkout.write("src/repro/core/bad.py", BAD_DETERMINISM)
+    baseline = tmp_path / "lint-baseline.json"
+
+    assert lint("--write-baseline", str(baseline)) == 0
+    assert "wrote baseline with 1 finding(s)" in capsys.readouterr().out
+    payload = json.loads(baseline.read_text())
+    assert payload["schema"] == 1
+    assert payload["findings"][0]["rule"] == "determinism"
+
+    # Same tree + baseline: known finding is reported but tolerated.
+    assert lint("--baseline", str(baseline)) == 0
+    assert "(1 baselined)" in capsys.readouterr().out
+
+    # A new finding on top of the baseline still fails.
+    checkout.write("src/repro/net/bad.py", BAD_DETERMINISM)
+    assert lint("--baseline", str(baseline)) == 1
+    capsys.readouterr()
+
+
+def test_standalone_module_entry_point(checkout, capsys):
+    checkout.write("src/repro/core/bad.py", BAD_DETERMINISM)
+    assert lint_cli.main(["--select", "determinism"]) == 1
+    assert "error[determinism]" in capsys.readouterr().out

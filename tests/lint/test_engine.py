@@ -1,0 +1,231 @@
+"""Engine mechanics: module inference, suppression, baselines, reports."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import Baseline, Finding, Severity, resolve_rules, run_lint
+from repro.lint.engine import module_name_for
+
+
+# --- module inference -------------------------------------------------
+
+
+@pytest.mark.parametrize("path,expected", [
+    ("src/repro/core/state.py", "repro.core.state"),
+    ("src/repro/net/__init__.py", "repro.net"),
+    ("src/repro/__init__.py", "repro"),
+    ("/tmp/x/src/repro/sim/rng.py", "repro.sim.rng"),
+    ("examples/demo.py", None),
+    ("benchmarks/bench_topology.py", None),
+])
+def test_module_name_for(path, expected):
+    assert module_name_for(Path(path)) == expected
+
+
+# --- suppression scope ------------------------------------------------
+
+
+def test_line_suppression_only_covers_its_line(tree):
+    tree.write("src/repro/core/bad.py", """\
+        import time
+
+        a = time.time()  # repro-lint: disable=determinism
+        b = time.time()
+        """)
+    findings = tree.findings(select={"determinism"})
+    assert [f.line for f in findings] == [4]
+
+
+def test_file_suppression_is_per_rule(tree):
+    tree.write("src/repro/core/bad.py", """\
+        # repro-lint: disable=determinism
+        import time
+        import numpy
+
+        a = time.time()
+        """)
+    report = tree.lint(select={"determinism", "no-oracle-import"})
+    assert [f.rule for f in report.findings] == ["no-oracle-import"]
+
+
+def test_one_directive_many_rules(tree):
+    tree.write("src/repro/core/bad.py", """\
+        # repro-lint: disable=determinism, no-oracle-import
+        import time
+        import numpy
+
+        a = time.time()
+        """)
+    assert tree.findings() == []
+
+
+# --- rule resolution --------------------------------------------------
+
+
+def test_resolve_rules_unknown_name_raises():
+    with pytest.raises(ValueError, match="unknown rule"):
+        resolve_rules(select={"no-such-rule"})
+    with pytest.raises(ValueError, match="no-such-rule"):
+        resolve_rules(ignore={"no-such-rule"})
+
+
+def test_resolve_rules_select_and_ignore_compose():
+    names = [r.name for r in
+             resolve_rules(select={"send-api", "hop-bound"},
+                           ignore={"hop-bound"})]
+    assert names == ["send-api"]
+
+
+# --- reports ----------------------------------------------------------
+
+
+def test_parse_error_reported_and_exit_2(tree):
+    tree.write("src/repro/core/broken.py", "def broken(:\n")
+    report = tree.lint()
+    assert report.findings == ()
+    assert len(report.parse_errors) == 1
+    assert "broken.py" in report.parse_errors[0]
+    assert report.exit_code() == 2
+    assert "parse error" in report.render_text()
+
+
+def test_exit_codes_warning_vs_error(tree):
+    tree.write("src/repro/quorum/bad.py", "half = 10 // 2\n")
+    report = tree.lint(select={"quorum-arith"})
+    assert not report.has_errors()
+    assert report.exit_code() == 0
+    assert report.exit_code(strict=True) == 1
+
+    tree.write("src/repro/core/bad.py", "import numpy\n")
+    report = tree.lint()
+    assert report.has_errors()
+    assert report.exit_code() == 1
+
+
+def test_render_text_summary_and_counts(tree):
+    tree.write("src/repro/core/bad.py", """\
+        import time
+
+        a = time.time()
+        b = time.monotonic()
+        """)
+    report = tree.lint(select={"determinism"})
+    text = report.render_text()
+    assert "1 files scanned, 1 rules, 2 findings" in text
+    assert "[determinism=2]" in text
+    assert report.counts_by_rule() == {"determinism": 2}
+    lines = text.splitlines()
+    assert lines[0].startswith("src/repro/core/bad.py:3:")
+    assert "error[determinism]" in lines[0]
+
+
+def test_findings_sorted_by_path_then_line(tree):
+    tree.write("src/repro/net/zbad.py", "import numpy\n")
+    tree.write("src/repro/core/abad.py", """\
+        import time
+        x = time.time()
+        """)
+    report = tree.lint()
+    paths = [f.path for f in report.findings]
+    assert paths == sorted(paths)
+
+
+# --- baselines --------------------------------------------------------
+
+
+def _keys(findings):
+    return sorted(f.baseline_key() for f in findings)
+
+
+def test_baseline_roundtrip_and_split(tree, tmp_path):
+    tree.write("src/repro/core/bad.py", """\
+        import time
+
+        a = time.time()
+        """)
+    first = tree.lint(select={"determinism"})
+    assert len(first.findings) == 1
+
+    baseline = Baseline.from_findings(first.findings)
+    path = tmp_path / "baseline.json"
+    baseline.dump(path)
+    reloaded = Baseline.load(path)
+    assert len(reloaded) == 1
+
+    second = tree.lint(select={"determinism"}, baseline=reloaded)
+    assert second.findings == ()
+    assert len(second.baselined) == 1
+    assert second.exit_code() == 0
+
+
+def test_baseline_survives_line_drift(tree, tmp_path):
+    tree.write("src/repro/core/bad.py", """\
+        import time
+
+        a = time.time()
+        """)
+    baseline = Baseline.from_findings(
+        tree.lint(select={"determinism"}).findings)
+
+    # Shift the offending line down; the key is line text, not number.
+    tree.write("src/repro/core/bad.py", """\
+        import time
+
+        PAD = 1
+        PAD2 = 2
+        a = time.time()
+        """)
+    report = tree.lint(select={"determinism"}, baseline=baseline)
+    assert report.findings == ()
+    assert len(report.baselined) == 1
+
+
+def test_baseline_is_a_multiset(tree, tmp_path):
+    tree.write("src/repro/core/bad.py", """\
+        import time
+
+        a = time.time()
+        """)
+    baseline = Baseline.from_findings(
+        tree.lint(select={"determinism"}).findings)
+
+    # A second identical occurrence only gets one baseline slot.
+    tree.write("src/repro/core/bad.py", """\
+        import time
+
+        a = time.time()
+        b = time.time()
+        """)
+    report = tree.lint(select={"determinism"}, baseline=baseline)
+    assert len(report.baselined) == 1
+    assert len(report.findings) == 1
+    assert report.exit_code() == 1
+
+
+def test_baseline_load_rejects_unknown_schema(tmp_path):
+    path = tmp_path / "baseline.json"
+    path.write_text('{"schema": 99, "findings": []}')
+    with pytest.raises(ValueError, match="unsupported baseline schema"):
+        Baseline.load(path)
+
+
+# --- report JSON ------------------------------------------------------
+
+
+def test_report_to_json_schema(tree):
+    tree.write("src/repro/core/bad.py", """\
+        import time
+
+        a = time.time()
+        """)
+    payload = tree.lint(select={"determinism"}).to_json()
+    assert set(payload) == {"schema", "rules", "files_scanned", "findings",
+                            "baselined", "counts", "parse_errors"}
+    assert payload["schema"] == 1
+    assert payload["rules"] == ["determinism"]
+    (finding,) = payload["findings"]
+    assert set(finding) == {"rule", "severity", "path", "line", "col",
+                            "message", "line_text"}
+    assert finding["severity"] == "error"
+    assert finding["line_text"] == "a = time.time()"

@@ -1,0 +1,160 @@
+"""frozen-message and hop-bound rules."""
+
+
+# --- frozen-message --------------------------------------------------
+
+
+def test_unfrozen_unslotted_dataclass_two_findings(tree):
+    tree.write("src/repro/net/message.py", """\
+        import dataclasses
+
+        @dataclasses.dataclass
+        class Message:
+            mtype: str
+        """)
+    findings = tree.findings(select={"frozen-message"})
+    assert len(findings) == 2
+    assert {"frozen" in f.message or "slotted" in f.message
+            for f in findings} == {True}
+
+
+def test_frozen_with_slots_kwarg_clean(tree):
+    tree.write("src/repro/net/message.py", """\
+        import dataclasses
+
+        @dataclasses.dataclass(frozen=True, slots=True)
+        class Message:
+            mtype: str
+        """)
+    assert tree.findings(select={"frozen-message"}) == []
+
+
+def test_frozen_with_body_slots_clean(tree):
+    tree.write("src/repro/core/messages.py", """\
+        from dataclasses import dataclass
+
+        @dataclass(frozen=True)
+        class Envelope:
+            __slots__ = ("mtype",)
+            mtype: str
+        """)
+    assert tree.findings(select={"frozen-message"}) == []
+
+
+def test_frozen_with_add_slots_decorator_clean(tree):
+    tree.write("src/repro/net/message.py", """\
+        import dataclasses
+
+        def slotted(cls):
+            return cls
+
+        @slotted
+        @dataclasses.dataclass(frozen=True)
+        class Message:
+            mtype: str
+        """)
+    assert tree.findings(select={"frozen-message"}) == []
+
+
+def test_frozen_only_flags_missing_slots(tree):
+    tree.write("src/repro/net/message.py", """\
+        import dataclasses
+
+        @dataclasses.dataclass(frozen=True)
+        class Message:
+            mtype: str
+        """)
+    findings = tree.findings(select={"frozen-message"})
+    assert len(findings) == 1
+    assert "slotted" in findings[0].message
+
+
+def test_dataclasses_outside_message_modules_out_of_scope(tree):
+    tree.write("src/repro/experiments/metrics.py", """\
+        import dataclasses
+
+        @dataclasses.dataclass
+        class RunResult:
+            value: int
+        """)
+    assert tree.findings(select={"frozen-message"}) == []
+
+
+def test_plain_class_in_message_module_ignored(tree):
+    tree.write("src/repro/net/message.py", """\
+        class Helper:
+            pass
+        """)
+    assert tree.findings(select={"frozen-message"}) == []
+
+
+def test_frozen_message_file_suppression(tree):
+    tree.write("src/repro/net/message.py", """\
+        # repro-lint: disable=frozen-message
+        import dataclasses
+
+        @dataclasses.dataclass
+        class Message:
+            mtype: str
+        """)
+    assert tree.findings(select={"frozen-message"}) == []
+
+
+# --- hop-bound -------------------------------------------------------
+
+
+def test_unbounded_queries_flagged(tree):
+    tree.write("src/repro/core/bad.py", """\
+        def scan(topo, a, b):
+            topo.hops(a, b)
+            topo.reachable(a)
+        """)
+    findings = tree.findings(select={"hop-bound"})
+    assert len(findings) == 2
+    assert all(f.rule == "hop-bound" for f in findings)
+
+
+def test_explicit_bounds_clean(tree):
+    tree.write("src/repro/core/good.py", """\
+        def scan(topo, a, b, k):
+            topo.hops(a, b, 4)
+            topo.hops(a, b, max_hops=None)
+            topo.reachable(a, max_hops=2)
+            topo.reachable(a, max_hops=None)
+            topo.within_hops(a, k)
+            topo.within_hops(a, k=2)
+        """)
+    assert tree.findings(select={"hop-bound"}) == []
+
+
+def test_hop_bound_applies_outside_repro_modules_too(tree):
+    tree.write("examples/demo.py", """\
+        def scan(topo, a):
+            return topo.reachable(a)
+        """)
+    assert len(tree.findings(select={"hop-bound"})) == 1
+
+
+def test_oracle_module_exempt(tree):
+    tree.write("src/repro/net/oracle.py", """\
+        class OracleTopology:
+            def eccentricity(self, a):
+                return max(self.reachable(a).values())
+        """)
+    assert tree.findings(select={"hop-bound"}) == []
+
+
+def test_unrelated_attributes_not_flagged(tree):
+    tree.write("src/repro/core/good.py", """\
+        def stats(result):
+            return result.avg_config_latency_hops(), result.stats_hops
+        """)
+    assert tree.findings(select={"hop-bound"}) == []
+
+
+def test_hop_bound_line_suppression(tree):
+    tree.write("src/repro/core/bad.py", """\
+        def scan(topo, a):
+            return topo.reachable(a)  # repro-lint: disable=hop-bound
+        """)
+    assert tree.findings(select={"hop-bound"}) == []

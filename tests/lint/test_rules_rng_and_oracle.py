@@ -1,0 +1,98 @@
+"""rng-stream and no-oracle-import rules."""
+
+
+# --- rng-stream ------------------------------------------------------
+
+
+def test_random_random_flagged_outside_sim_rng(tree):
+    tree.write("src/repro/core/bad.py", """\
+        import random
+
+        def make(seed: int):
+            return random.Random(seed)
+        """)
+    findings = tree.findings(select={"rng-stream"})
+    assert len(findings) == 1
+    assert findings[0].rule == "rng-stream"
+
+
+def test_from_import_random_and_systemrandom_flagged(tree):
+    tree.write("src/repro/mobility/bad.py", """\
+        from random import Random, SystemRandom
+
+        a = Random(1)
+        b = SystemRandom()
+        """)
+    assert len(tree.findings(select={"rng-stream"})) == 2
+
+
+def test_sim_rng_module_is_the_blessed_home(tree):
+    tree.write("src/repro/sim/rng.py", """\
+        import random
+
+        def generator_from_seed(seed: int) -> random.Random:
+            return random.Random(seed)
+        """)
+    assert tree.findings(select={"rng-stream"}) == []
+
+
+def test_stream_consumers_not_flagged(tree):
+    tree.write("src/repro/core/good.py", """\
+        def draw(streams):
+            return streams.get("mobility").random()
+        """)
+    assert tree.findings(select={"rng-stream"}) == []
+
+
+def test_rng_stream_suppression(tree):
+    tree.write("src/repro/core/bad.py", """\
+        import random
+
+        r = random.Random(0)  # repro-lint: disable=rng-stream
+        """)
+    assert tree.findings(select={"rng-stream"}) == []
+
+
+# --- no-oracle-import ------------------------------------------------
+
+
+def test_numpy_networkx_and_oracle_imports_flagged(tree):
+    tree.write("src/repro/core/bad.py", """\
+        import numpy
+        import networkx as nx
+        from repro.net.oracle import OracleTopology
+        from repro.net import oracle
+        """)
+    findings = tree.findings(select={"no-oracle-import"})
+    assert len(findings) == 4
+    assert all(f.rule == "no-oracle-import" for f in findings)
+
+
+def test_oracle_and_bench_modules_exempt(tree):
+    tree.write("src/repro/net/oracle.py", """\
+        import networkx as nx
+        import numpy as np
+        """)
+    tree.write("src/repro/perf/bench.py", """\
+        def run():
+            from repro.net.oracle import OracleTopology
+            return OracleTopology
+        """)
+    assert tree.findings(select={"no-oracle-import"}) == []
+
+
+def test_runtime_imports_not_flagged(tree):
+    tree.write("src/repro/core/good.py", """\
+        from repro.net.topology import Topology
+        from repro.net import topology
+        import json
+        """)
+    assert tree.findings(select={"no-oracle-import"}) == []
+
+
+def test_oracle_import_file_suppression(tree):
+    tree.write("src/repro/core/bad.py", """\
+        # repro-lint: disable=no-oracle-import
+        import numpy
+        """)
+    assert tree.findings(select={"no-oracle-import"}) == []

@@ -1,0 +1,67 @@
+"""send-api rule: the deprecated Transport shims stay dead in-repo.
+
+This is the AST-based replacement for the old regex grep
+(tests/net/test_no_deprecated_callers.py pre-PR-4 and the CI
+deprecation-grep job).
+"""
+
+
+def test_each_deprecated_method_flagged(tree):
+    tree.write("src/repro/core/bad.py", """\
+        def go(transport, src, dst, msg, cat):
+            transport.unicast(src, dst, msg, cat)
+            transport.broadcast_1hop(src, msg, cat)
+            transport.flood(src, msg, cat)
+        """)
+    findings = tree.findings(select={"send-api"})
+    assert len(findings) == 3
+    assert [f.line for f in findings] == [2, 3, 4]
+
+
+def test_examples_and_benchmarks_in_scope(tree):
+    tree.write("examples/demo.py", """\
+        def go(transport, src, msg, cat):
+            transport.flood(src, msg, cat)
+        """)
+    tree.write("benchmarks/bench_x.py", """\
+        def go(transport, src, dst, msg, cat):
+            return transport.unicast(src, dst, msg, cat)
+        """)
+    assert len(tree.findings(select={"send-api"})) == 2
+
+
+def test_shim_module_itself_exempt(tree):
+    tree.write("src/repro/net/transport.py", """\
+        class Transport:
+            def unicast(self, src, dst, msg, category):
+                return self.send(src, dst, msg, category=category)
+
+            def retry(self, src, dst, msg, category):
+                return self.unicast(src, dst, msg, category)
+        """)
+    assert tree.findings(select={"send-api"}) == []
+
+
+def test_send_endpoint_not_flagged(tree):
+    tree.write("src/repro/core/good.py", """\
+        def go(transport, src, dst, msg, cat, scope):
+            return transport.send(src, dst, msg, category=cat, scope=scope)
+        """)
+    assert tree.findings(select={"send-api"}) == []
+
+
+def test_mentions_in_strings_and_docstrings_not_flagged(tree):
+    tree.write("src/repro/core/good.py", '''\
+        def go():
+            """Calls transport.flood(...) used to live here."""
+            return "unicast(x)"
+        ''')
+    assert tree.findings(select={"send-api"}) == []
+
+
+def test_send_api_line_suppression(tree):
+    tree.write("src/repro/core/compat.py", """\
+        def legacy(transport, src, msg, cat):
+            return transport.flood(src, msg, cat)  # repro-lint: disable=send-api
+        """)
+    assert tree.findings(select={"send-api"}) == []

@@ -1,0 +1,126 @@
+"""timer-discipline and quorum-arith rules."""
+
+from repro.lint import Severity
+
+
+# --- timer-discipline ------------------------------------------------
+
+
+def test_literal_timer_assignments_flagged(tree):
+    tree.write("src/repro/core/bad.py", """\
+        td = 4.0
+        T_d = 2
+
+        class Node:
+            def setup(self, cfg):
+                cfg.td = 1.5
+        """)
+    findings = tree.findings(select={"timer-discipline"})
+    assert len(findings) == 3
+    assert all(f.severity is Severity.WARNING for f in findings)
+    assert [f.line for f in findings] == [1, 2, 6]
+
+
+def test_literal_timer_default_flagged(tree):
+    tree.write("src/repro/core/bad.py", """\
+        def start(node, tr=3.0):
+            return node, tr
+        """)
+    findings = tree.findings(select={"timer-discipline"})
+    assert len(findings) == 1
+    assert "'tr'" in findings[0].message
+
+
+def test_config_module_exempt(tree):
+    tree.write("src/repro/core/config.py", """\
+        td = 4.0
+        T_r = 2.0
+        """)
+    assert tree.findings(select={"timer-discipline"}) == []
+
+
+def test_call_keyword_not_flagged(tree):
+    tree.write("src/repro/core/good.py", """\
+        def build(ProtocolConfig):
+            return ProtocolConfig(td=4.0, tr=2.0)
+        """)
+    assert tree.findings(select={"timer-discipline"}) == []
+
+
+def test_non_literal_timer_assignment_clean(tree):
+    tree.write("src/repro/core/good.py", """\
+        def wire(self, cfg):
+            self.td = cfg.td
+            tr = cfg.tr * 2
+            return tr
+        """)
+    assert tree.findings(select={"timer-discipline"}) == []
+
+
+def test_unrelated_names_clean(tree):
+    tree.write("src/repro/core/good.py", """\
+        total = 4.0
+        trace = 1
+        """)
+    assert tree.findings(select={"timer-discipline"}) == []
+
+
+def test_timer_line_suppression(tree):
+    tree.write("src/repro/core/bad.py", """\
+        td = 4.0  # repro-lint: disable=timer-discipline
+        """)
+    assert tree.findings(select={"timer-discipline"}) == []
+
+
+# --- quorum-arith ----------------------------------------------------
+
+
+def test_floor_div_two_flagged_in_quorum(tree):
+    tree.write("src/repro/quorum/bad.py", """\
+        def threshold(n):
+            return n // 2 + 1
+        """)
+    findings = tree.findings(select={"quorum-arith"})
+    assert len(findings) == 1
+    assert findings[0].severity is Severity.WARNING
+    assert "majority_threshold" in findings[0].message
+
+
+def test_cluster_package_in_scope(tree):
+    tree.write("src/repro/cluster/bad.py", """\
+        def half(sizes):
+            return [s // 2 for s in sizes]
+        """)
+    assert len(tree.findings(select={"quorum-arith"})) == 1
+
+
+def test_voting_module_is_the_blessed_home(tree):
+    tree.write("src/repro/quorum/voting.py", """\
+        def majority_threshold(total):
+            return total // 2 + 1
+        """)
+    assert tree.findings(select={"quorum-arith"}) == []
+
+
+def test_other_packages_out_of_scope(tree):
+    tree.write("src/repro/core/ok.py", """\
+        def mid(xs):
+            return xs[len(xs) // 2]
+        """)
+    assert tree.findings(select={"quorum-arith"}) == []
+
+
+def test_other_divisors_clean(tree):
+    tree.write("src/repro/quorum/ok.py", """\
+        def thirds(n):
+            return n // 3
+        """)
+    assert tree.findings(select={"quorum-arith"}) == []
+
+
+def test_quorum_arith_line_suppression(tree):
+    tree.write("src/repro/quorum/bad.py", """\
+        def half(n):
+            return n // 2  # repro-lint: disable=quorum-arith
+        """)
+    assert tree.findings(select={"quorum-arith"}) == []

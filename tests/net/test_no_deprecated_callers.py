@@ -3,31 +3,30 @@
 ``Transport.unicast`` / ``broadcast_1hop`` / ``flood`` survive only as
 deprecation shims for downstream users; everything in ``src/``,
 ``examples/`` and ``benchmarks/`` must go through the unified
-``Transport.send`` endpoint.  (Tests under ``tests/net`` deliberately
-exercise the shims and are exempt.)
+``Transport.send`` endpoint.  Since PR 4 the check is the analyzer's
+``send-api`` rule (``repro lint --select send-api``) — AST-based, so
+docstrings and string literals mentioning the old names no longer trip
+it the way the old regex grep could.  (Tests under ``tests/net``
+deliberately exercise the shims and are exempt because only the
+runtime roots are scanned.)
 """
 
-import re
 from pathlib import Path
 
+from repro.lint import run_lint
+
 REPO = Path(__file__).resolve().parents[2]
-DEPRECATED_CALL = re.compile(r"\.(unicast|broadcast_1hop|flood)\(")
-# The shims themselves live here; everything else is a violation.
-EXEMPT = {REPO / "src" / "repro" / "net" / "transport.py"}
 SCANNED_ROOTS = ("src", "examples", "benchmarks")
 
 
 def test_no_deprecated_transport_callers():
-    violations = []
-    for root in SCANNED_ROOTS:
-        for path in sorted((REPO / root).rglob("*.py")):
-            if path in EXEMPT:
-                continue
-            for lineno, line in enumerate(
-                    path.read_text().splitlines(), start=1):
-                if DEPRECATED_CALL.search(line):
-                    violations.append(
-                        f"{path.relative_to(REPO)}:{lineno}: {line.strip()}")
-    assert not violations, (
+    report = run_lint(
+        [REPO / root for root in SCANNED_ROOTS if (REPO / root).exists()],
+        select={"send-api"},
+        root=REPO,
+    )
+    assert report.parse_errors == ()
+    rendered = "\n".join(f.render() for f in report.findings)
+    assert report.findings == (), (
         "deprecated Transport.unicast/broadcast_1hop/flood calls found "
-        "(use Transport.send(..., scope=...)):\n" + "\n".join(violations))
+        "(use Transport.send(..., scope=...)):\n" + rendered)
