@@ -9,6 +9,7 @@ Subcommands::
     python -m repro layout   --nodes 100      # Fig. 4-style ASCII map
     python -m repro bench    --quick          # topology perf matrix
     python -m repro lint     --strict         # static invariant checks
+    python -m repro trace    --nodes 30 --seed 1 --format spans
 
 ``run`` prints the quickstart-style report for one protocol; ``compare``
 tabulates all protocols on the same workload; ``figure`` regenerates a
@@ -16,12 +17,21 @@ paper figure's series (optionally fanned out over worker processes);
 ``sweep`` runs an explicit (protocol x size x seed) grid through the
 parallel executor; ``layout`` draws the clustered network; ``bench``
 runs the perf matrix; ``lint`` runs the AST-based determinism and
-protocol-invariant analyzer (:mod:`repro.lint`).
+protocol-invariant analyzer (:mod:`repro.lint`); ``trace`` records a
+scenario's structured event stream (:mod:`repro.obs`) — or loads one
+exported with ``--trace-out`` — and renders it as a timeline, span
+trees, JSONL or an outcome summary.
+
+``run``, ``figure`` and ``sweep`` accept ``--trace`` (record events,
+report span aggregates) and ``--trace-out FILE`` (append each traced
+run's JSONL to FILE; implies ``--trace`` and forces serial execution,
+since worker processes do not inherit the export sink).
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 from typing import List, Optional
 
@@ -34,7 +44,7 @@ from repro.experiments import (
 )
 from repro.experiments.builder import ScenarioBuilder
 from repro.experiments.report import format_layout
-from repro.experiments.runner import PROTOCOLS
+from repro.experiments.runner import PROTOCOLS, ScenarioRunner
 from repro.experiments.sweep import (
     SweepExecutor,
     derive_seeds,
@@ -43,6 +53,14 @@ from repro.experiments.sweep import (
 )
 from repro.faults import FaultSpec
 from repro.lint import cli as lint_cli
+from repro.obs import (
+    build_spans,
+    events_from_jsonl,
+    events_to_jsonl,
+    filter_events,
+    set_trace_export,
+)
+from repro.obs.render import render_spans, render_summary, render_timeline
 
 FIGURES = {
     "fig05": figures.fig05_latency_vs_size,
@@ -89,10 +107,19 @@ def build_parser() -> argparse.ArgumentParser:
                             "'loss=0.1,delay=0.02,crash=7@40-70,"
                             "cut=1+2@50-80' (see repro.faults)")
 
+    def add_trace_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--trace", action="store_true",
+                       help="record structured protocol events "
+                            "(repro.obs) and report span aggregates")
+        p.add_argument("--trace-out", default=None, metavar="FILE",
+                       help="append each traced run's JSONL to FILE "
+                            "(implies --trace; forces serial execution)")
+
     run_p = sub.add_parser("run", help="run one protocol, print a report")
     add_scenario_args(run_p)
     run_p.add_argument("--protocol", choices=sorted(PROTOCOLS),
                        default="quorum")
+    add_trace_args(run_p)
 
     cmp_p = sub.add_parser("compare", help="all protocols, one table")
     add_scenario_args(cmp_p)
@@ -107,6 +134,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="cache run results under DIR; re-running "
                             "the figure only executes missing cells")
     add_faults_arg(fig_p)
+    add_trace_args(fig_p)
 
     sw_p = sub.add_parser(
         "sweep", help="run a (protocol x size x seed) grid in parallel")
@@ -130,6 +158,34 @@ def build_parser() -> argparse.ArgumentParser:
     sw_p.add_argument("--cache", default=None, metavar="DIR",
                       help="cache run results under DIR")
     add_faults_arg(sw_p)
+    add_trace_args(sw_p)
+
+    tr_p = sub.add_parser(
+        "trace",
+        help="record (or load) a structured protocol trace and render it")
+    add_scenario_args(tr_p)
+    tr_p.add_argument("--protocol", choices=sorted(PROTOCOLS),
+                      default="quorum")
+    tr_p.add_argument("--in", dest="infile", default=None, metavar="FILE",
+                      help="render a JSONL trace exported with "
+                           "--trace-out instead of running a scenario")
+    tr_p.add_argument("--node", type=int, nargs="+", default=None,
+                      help="only events at these node ids")
+    tr_p.add_argument("--etype", nargs="+", default=None, metavar="ETYPE",
+                      help="only these event types (e.g. vote.decide)")
+    tr_p.add_argument("--span", type=int, default=None, metavar="CORR",
+                      help="only the span with this correlation id")
+    tr_p.add_argument("--since", type=float, default=None, metavar="T",
+                      help="drop events before sim-time T")
+    tr_p.add_argument("--until", type=float, default=None, metavar="T",
+                      help="drop events after sim-time T")
+    tr_p.add_argument("--format", default="spans",
+                      choices=["timeline", "spans", "jsonl", "summary"],
+                      help="rendering: flat timeline, per-allocation "
+                           "span trees, canonical JSONL, or a one-line "
+                           "outcome tally")
+    tr_p.add_argument("--out", default=None, metavar="FILE",
+                      help="write the rendering to FILE instead of stdout")
 
     lay_p = sub.add_parser("layout", help="draw a Fig. 4-style layout")
     lay_p.add_argument("--nodes", type=int, default=100)
@@ -175,6 +231,17 @@ def install_faults(args: argparse.Namespace) -> None:
         FaultSpec.parse(spec) if spec else None)
 
 
+def install_trace(args: argparse.Namespace) -> None:
+    """Wire ``--trace`` / ``--trace-out`` into every scenario built."""
+    trace_out = getattr(args, "trace_out", None)
+    enabled = bool(getattr(args, "trace", False) or trace_out)
+    ScenarioBuilder.set_default_trace(enabled)
+    if trace_out:
+        # The per-run exporter appends; start each invocation fresh.
+        open(trace_out, "w", encoding="utf-8").close()
+        set_trace_export(trace_out)
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     result = run_scenario(scenario_from(args), protocol=args.protocol)
     rows = [
@@ -197,6 +264,7 @@ def cmd_run(args: argparse.Namespace) -> int:
              for k, v in sorted(result.stats_drops.items())]
     rows += [[f"event: {k}", v] for k, v in sorted(result.events.items())
              if k.startswith("fault_")]
+    rows += [[f"spans: {k}", v] for k, v in sorted(result.obs_spans.items())]
     print(f"protocol: {args.protocol}  nodes: {args.nodes}  "
           f"seed: {args.seed}")
     print(format_table(["metric", "value"], rows))
@@ -234,7 +302,14 @@ def _install_executor(workers: Optional[int],
 
 
 def cmd_figure(args: argparse.Namespace) -> int:
-    _install_executor(args.workers, args.cache)
+    if args.trace_out:
+        # Worker processes never inherit the export sink.
+        if args.workers not in (None, 1):
+            print("note: --trace-out forces serial execution",
+                  file=sys.stderr)
+        set_default_executor(SweepExecutor(workers=1, cache_dir=args.cache))
+    else:
+        _install_executor(args.workers, args.cache)
     if args.name == "table1":
         outcome = figures.table1_message_exchange()
         print(outcome["title"])
@@ -265,8 +340,14 @@ def cmd_sweep(args: argparse.Namespace) -> int:
               f"nn={spec.scenario.num_nodes} seed={spec.scenario.seed}    ",
               end="", file=sys.stderr, flush=True)
 
+    workers = args.workers
+    if args.trace_out and workers != 1:
+        # Worker processes never inherit the export sink.
+        print("note: --trace-out forces serial execution (workers=1)",
+              file=sys.stderr)
+        workers = 1
     executor = SweepExecutor(
-        workers=args.workers, cache_dir=args.cache, progress=progress)
+        workers=workers, cache_dir=args.cache, progress=progress)
     report = executor.run(specs)
     print(file=sys.stderr)
 
@@ -290,6 +371,43 @@ def cmd_sweep(args: argparse.Namespace) -> int:
           f"cache_hits={counts.get('cache_hit', 0)} "
           f"failed={counts.get('failed', 0)} "
           f"({100 * report.cache_hit_rate():.0f} % cached)")
+    span_totals = report.obs_span_totals()
+    if span_totals:
+        tally = " ".join(f"{k}={v}" for k, v in span_totals.items())
+        print(f"spans: {tally}")
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    if args.infile:
+        with open(args.infile, "r", encoding="utf-8") as fh:
+            events = events_from_jsonl(fh.read())
+    else:
+        scenario = dataclasses.replace(scenario_from(args), trace=True)
+        runner = ScenarioRunner(scenario, protocol=args.protocol)
+        runner.run()
+        assert runner.recorder is not None
+        if runner.recorder.truncated:
+            print(f"warning: {runner.recorder.truncated} events past the "
+                  "recorder limit were dropped", file=sys.stderr)
+        events = runner.recorder.events
+    events = filter_events(events, nodes=args.node, etypes=args.etype,
+                           corr=args.span, since=args.since,
+                           until=args.until)
+    if args.format == "timeline":
+        text = render_timeline(events)
+    elif args.format == "jsonl":
+        text = events_to_jsonl(events).rstrip("\n")
+    else:
+        spans = build_spans(events)
+        text = (render_spans(spans) if args.format == "spans"
+                else render_summary(spans))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+        print(f"wrote {args.out}")
+    else:
+        print(text)
     return 0
 
 
@@ -320,11 +438,13 @@ def cmd_bench(args: argparse.Namespace) -> int:
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     install_faults(args)
+    install_trace(args)
     handlers = {
         "run": cmd_run,
         "compare": cmd_compare,
         "figure": cmd_figure,
         "sweep": cmd_sweep,
+        "trace": cmd_trace,
         "layout": cmd_layout,
         "bench": cmd_bench,
         "lint": lint_cli.run,
@@ -332,9 +452,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         return handlers[args.command](args)
     finally:
-        # The --faults default is process-global; don't leak it into
-        # library callers that invoke main() programmatically.
+        # The --faults/--trace defaults are process-global; don't leak
+        # them into library callers that invoke main() programmatically.
         ScenarioBuilder.set_default_faults(None)
+        ScenarioBuilder.set_default_trace(False)
+        set_trace_export(None)
 
 
 if __name__ == "__main__":

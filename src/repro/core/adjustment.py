@@ -18,6 +18,7 @@ from repro.cluster.roles import ADJACENT_HEAD_HOPS
 from repro.core import messages as m
 from repro.net.message import Message
 from repro.net.stats import Category
+from repro.obs import events as obs_ev
 from repro.sim.timers import PeriodicTimer, Timer
 
 
@@ -28,6 +29,15 @@ class AdjustmentMixin:
         self._audit_timer: Optional[PeriodicTimer] = None
         self._td_timers: Dict[int, Timer] = {}
         self._tr_timers: Dict[int, Timer] = {}
+
+    def _emit_qdset_change(self, member: int, action: str) -> None:
+        """QDSetChanged observability event (no-op while tracing is off)."""
+        obs = self.ctx.obs
+        if obs and self.head is not None:
+            obs.emit(obs_ev.QDSetChanged(
+                time=self.ctx.sim.now, node=self.node_id, corr=0,
+                member=member, action=action,
+                size=len(self.head.qdset.members())))
 
     def _start_audit(self) -> None:
         if self._audit_timer is not None:
@@ -118,6 +128,7 @@ class AdjustmentMixin:
         if head_id in self._reclaimed or not self._same_network_head(head_id):
             return
         self.head.qdset.add(head_id)
+        self._emit_qdset_change(head_id, "add")
         snapshot = self._replica_snapshot()
         snapshot["want_ack"] = True
         self._send(head_id, m.REPLICA_DIST, snapshot, Category.MAINTENANCE)
@@ -133,19 +144,24 @@ class AdjustmentMixin:
             return
         self.head.qdset.suspect(member)
         self.ctx.events.incr("quorum_suspect")
+        self._emit_qdset_change(member, "suspect")
         timer = Timer(self.ctx.sim, self._on_td_expire)
         timer.start(self.cfg.td, member)
         self._td_timers[member] = timer
 
     def _clear_suspicion(self, member: int) -> None:
-        timer = self._td_timers.pop(member, None)
-        if timer is not None:
-            timer.stop()
+        td_timer = self._td_timers.pop(member, None)
+        if td_timer is not None:
+            td_timer.stop()
         timer = self._tr_timers.pop(member, None)
         if timer is not None:
             timer.stop()
         if self.head is not None:
             self.head.qdset.clear_suspicion(member)
+            if td_timer is not None:
+                # Only a real suspicion being lifted is worth an event;
+                # this is also called defensively on every vote reply.
+                self._emit_qdset_change(member, "clear")
 
     def _majority_reachable(self) -> bool:
         """Are we on the majority side of our quorum universe?
@@ -175,8 +191,10 @@ class AdjustmentMixin:
         if self._majority_reachable():
             self.head.qdset.remove(member)
             self.ctx.events.incr("quorum_shrink")
+            self._emit_qdset_change(member, "shrink")
         self._send(member, m.REP_REQ, {}, Category.MAINTENANCE)
         self.ctx.events.incr("quorum_probe")
+        self._emit_qdset_change(member, "probe")
         timer = Timer(self.ctx.sim, self._on_tr_expire)
         timer.start(self.cfg.tr, member)
         self._tr_timers[member] = timer
@@ -200,6 +218,7 @@ class AdjustmentMixin:
             # drop it without reclaiming.
             self.head.qdset.remove(msg.src)
             self.head.replicas.drop(msg.src)
+            self._emit_qdset_change(msg.src, "remove")
 
     def _on_tr_expire(self, member: int) -> None:
         self._tr_timers.pop(member, None)

@@ -19,6 +19,20 @@ from repro.quorum.voting import VoteCollector
 _attempt_ids = itertools.count(1)
 
 
+def reset_attempt_ids() -> None:
+    """Restart the attempt-id sequence (called once per simulation run).
+
+    Attempt ids are opaque matching tokens, so their values never drive
+    protocol decisions — but they do appear in recorded traces
+    (:mod:`repro.obs`), and a process-global counter would make the ids
+    depend on how many runs the process executed before this one.
+    Restarting per run keeps identical seeded runs byte-identical,
+    whether executed serially or in fresh worker processes.
+    """
+    global _attempt_ids
+    _attempt_ids = itertools.count(1)
+
+
 @dataclasses.dataclass
 class PendingConfig:
     """One configuration attempt in progress at an allocator.
@@ -39,12 +53,17 @@ class PendingConfig:
         address_retries: how many candidate addresses were tried.
         relay_of: if this attempt was relayed from another head acting
             as agent (Section V-A), the relaying head's node id.
+        corr: correlation id carried by the requester's COM_REQ/CH_REQ
+            (see :mod:`repro.obs`); stamped on every message of this
+            attempt so traces reconstruct it as one span.  ``0`` when
+            tracing is disabled.
     """
 
     requester: int
     kind: str
     address: int
     owner_id: int
+    corr: int = 0
     block: Optional[Block] = None
     collector: Optional[VoteCollector] = None
     latency_hops: int = 0

@@ -19,6 +19,7 @@ from repro.cluster.roles import ADJACENT_HEAD_HOPS, Role
 from repro.core import messages as m
 from repro.net.message import Message
 from repro.net.stats import Category
+from repro.obs import events as obs_ev
 from repro.sim.timers import Timer
 
 LEAVE_GRACE = 2.0  # leave even if the acknowledgement never arrives
@@ -194,7 +195,17 @@ class DepartureMixin:
                 for a, r in self.head.ledger.items()
             ],
         }
+        self._emit_handoff(target, len(payload["blocks"]), len(assigned))
         self._send(target, m.CH_RETURN, payload, Category.DEPARTURE)
+
+    def _emit_handoff(self, target: int, blocks: int, assigned: int) -> None:
+        """HeadHandoff observability event (no-op while tracing is off)."""
+        obs = self.ctx.obs
+        if obs:
+            obs.emit(obs_ev.HeadHandoff(
+                time=self.ctx.sim.now, node=self.node_id, corr=0,
+                from_head=self.node_id, to_head=target,
+                blocks=blocks, assigned=assigned))
 
     def _handle_ch_return(self, msg: Message) -> None:
         if self.head is None:

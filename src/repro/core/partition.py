@@ -30,6 +30,7 @@ from repro.core.state import HeadState
 from repro.net.message import Message
 from repro.net.stats import Category
 from repro.net.transport import Scope
+from repro.obs import events as obs_ev
 from repro.sim.timers import PeriodicTimer
 
 ISOLATION_STRIKES = 4   # consecutive audits without a quorum majority
@@ -155,6 +156,11 @@ class PartitionMixin:
             return
         self._rejoining = True
         self.reconfigurations += 1
+        obs = self.ctx.obs
+        if obs:
+            obs.emit(obs_ev.PartitionEvent(
+                time=self.ctx.sim.now, node=self.node_id, corr=0,
+                phase="rejoin", network_id=self.network_id))
         was_head = self.head is not None
         if self.head is not None:
             # Propagate to our cluster and leave the quorum system.
@@ -202,12 +208,13 @@ class PartitionMixin:
                     for address in sorted(self.head.pool.allocated)
                     if address != self.head.ip
                 ]
+                blocks = [
+                    (b.start, b.size) for b in self.head.pool.take_all()
+                ]
+                self._emit_handoff(target, len(blocks), len(assigned))
                 self._send_with_retry(target, m.CH_RETURN, {
                     "own_ip": self.head.ip,
-                    "blocks": [
-                        (b.start, b.size)
-                        for b in self.head.pool.take_all()
-                    ],
+                    "blocks": blocks,
                     "assigned": assigned,
                     "records": [
                         (a, r.timestamp, r.status.value, r.holder)
@@ -289,6 +296,11 @@ class PartitionMixin:
         self.head = state
         self.network_id = self._new_network_id()
         self.ctx.bind_ip(own_ip, self.node_id)
+        obs = self.ctx.obs
+        if obs:
+            obs.emit(obs_ev.PartitionEvent(
+                time=self.ctx.sim.now, node=self.node_id, corr=0,
+                phase="refound", network_id=self.network_id))
         self._merge_grace_until = self.ctx.sim.now + MERGE_GRACE
         self._reclaimed.clear()
         if flood_component:

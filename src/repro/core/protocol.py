@@ -36,6 +36,7 @@ from repro.net.message import Message
 from repro.net.node import Node
 from repro.net.stats import Category
 from repro.net.transport import Scope, SendOutcome
+from repro.obs import events as obs_ev
 from repro.quorum.linear import DynamicLinearVoting
 from repro.quorum.replica import Replica
 from repro.quorum.system import MajorityQuorumSystem
@@ -86,6 +87,9 @@ class QuorumProtocolAgent(
 
         # Requester-side state.
         self._req_seq = 0
+        # Correlation id of the in-flight configuration attempt (0 when
+        # tracing is off or no attempt is running); see repro.obs.
+        self._corr = 0
         self._config_timer = Timer(ctx.sim, self._on_config_timeout)
         self._init_rounds = 0
         self._init_deferred_until = 0.0
@@ -139,27 +143,30 @@ class QuorumProtocolAgent(
         mtype: str,
         payload: Dict[str, Any],
         category: Category,
+        corr: int = 0,
     ) -> SendOutcome:
         dst = self.ctx.node_of(dst_id)
         if dst is None:
             return SendOutcome.failure()
         msg = Message(mtype=mtype, src=self.node_id, dst=dst_id,
-                      payload=payload, network_id=self.network_id)
+                      payload=payload, network_id=self.network_id,
+                      corr=corr)
         return self.ctx.transport.send(self.node, dst, msg,
                                        category=category)
 
     def _send_with_retry(self, dst_id: int, mtype: str,
                          payload: Dict[str, Any], category: Category,
-                         retries: int = 3, spacing: float = 1.0) -> None:
+                         retries: int = 3, spacing: float = 1.0,
+                         corr: int = 0) -> None:
         """Best-effort delivery across transient disconnection.
 
         Used for acknowledgements whose loss would make the peer roll
         back state the sender already adopted."""
-        delivery = self._send(dst_id, mtype, payload, category)
+        delivery = self._send(dst_id, mtype, payload, category, corr=corr)
         if not delivery.ok and retries > 0 and self.node.alive:
             self.ctx.sim.schedule(
                 spacing, self._send_with_retry, dst_id, mtype, payload,
-                category, retries - 1, spacing)
+                category, retries - 1, spacing, corr)
 
     def _heads_within(self, k: int) -> List[Tuple[int, int]]:
         return self.ctx.hello.heads_within(self.node_id, k, self.ctx.is_head)
@@ -185,6 +192,10 @@ class QuorumProtocolAgent(
             self.failed = True
         self.attempts += 1
         self._req_seq += 1
+        # One correlation id per attempt: every message and event of
+        # this transaction carries it (0 while tracing is disabled).
+        obs = self.ctx.obs
+        self._corr = obs.new_correlation() if obs else 0
 
         heads_near = self._rank_by_network(self._heads_within(HEAD_SCOPE_HOPS))
         role, allocator = decide_role(heads_near)
@@ -192,8 +203,14 @@ class QuorumProtocolAgent(
             assert allocator is not None
             if self.cfg.balance_allocators and len(heads_near) > 1:
                 allocator = self._pick_largest_block_allocator(heads_near)
+            if obs:
+                obs.emit(obs_ev.AttemptStarted(
+                    time=self.ctx.sim.now, node=self.node_id,
+                    corr=self._corr, attempt=self._req_seq,
+                    kind="common", target=allocator))
             self._send(allocator, m.COM_REQ,
-                       {"seq": self._req_seq, "lat": 0}, Category.CONFIG)
+                       {"seq": self._req_seq, "lat": 0}, Category.CONFIG,
+                       corr=self._corr)
             self._config_timer.restart(self.cfg.config_timeout)
             return
 
@@ -207,11 +224,21 @@ class QuorumProtocolAgent(
             if other != self.node_id and hops > 0 and self.ctx.is_head(other)
         ])
         if candidates:
+            if obs:
+                obs.emit(obs_ev.AttemptStarted(
+                    time=self.ctx.sim.now, node=self.node_id,
+                    corr=self._corr, attempt=self._req_seq,
+                    kind="head", target=candidates[0][0]))
             self._send(candidates[0][0], m.CH_REQ,
-                       {"seq": self._req_seq, "lat": 0}, Category.CONFIG)
+                       {"seq": self._req_seq, "lat": 0}, Category.CONFIG,
+                       corr=self._corr)
             self._config_timer.restart(self.cfg.config_timeout)
             return
 
+        if obs:
+            obs.emit(obs_ev.AttemptStarted(
+                time=self.ctx.sim.now, node=self.node_id, corr=self._corr,
+                attempt=self._req_seq, kind="first", target=None))
         self._first_node_round()
 
     def _rank_by_network(
@@ -260,7 +287,7 @@ class QuorumProtocolAgent(
         self._init_rounds += 1
         msg = Message(mtype=m.INIT_REQ, src=self.node_id, dst=None,
                       payload={"entered_at": self.entered_at},
-                      network_id=self.network_id)
+                      network_id=self.network_id, corr=self._corr)
         self.ctx.transport.send(self.node, None, msg,
                                 category=Category.CONFIG,
                                 scope=Scope.NEIGHBORS)
@@ -281,6 +308,11 @@ class QuorumProtocolAgent(
         self.head = state
         # Unique, founding-event-scoped network ID (see partition.py).
         self.network_id = self._new_network_id()
+        obs = self.ctx.obs
+        if obs:
+            obs.emit(obs_ev.ConfigCompleted(
+                time=self.ctx.sim.now, node=self.node_id, corr=self._corr,
+                address=own_ip, kind="first", latency_hops=0))
         self._finish_configuration(latency_hops=0)
 
     # --- shared configuration epilogue ---------------------------------
@@ -296,6 +328,12 @@ class QuorumProtocolAgent(
             self.config_latency_hops = latency_hops
         assert self.ip is not None
         self.ctx.bind_ip(self.ip, self.node_id)
+        obs = self.ctx.obs
+        if obs:
+            obs.emit(obs_ev.RoleAssigned(
+                time=self.ctx.sim.now, node=self.node_id, corr=self._corr,
+                role=self.role.value, address=self.ip,
+                network_id=self.network_id))
         if self.role is Role.HEAD:
             self._start_head_services()
         else:
@@ -348,6 +386,13 @@ class QuorumProtocolAgent(
         if self._init_rounds > 0 and self._init_rounds < self.cfg.max_r:
             self._first_node_round()
         else:
+            obs = self.ctx.obs
+            if obs and self._corr:
+                # Terminal for the abandoned attempt's span; the retry
+                # below starts a fresh span with a fresh correlation id.
+                obs.emit(obs_ev.ConfigTimeout(
+                    time=self.ctx.sim.now, node=self.node_id,
+                    corr=self._corr, attempt=self._req_seq))
             self._begin_attempt()
 
     # ==================================================================
@@ -355,8 +400,10 @@ class QuorumProtocolAgent(
     # ==================================================================
     def _handle_com_req(self, msg: Message) -> None:
         if not self.is_allocator():
+            self._abort_unaccepted(msg, "not-allocator")
             self._send(msg.src, m.COM_NACK,
-                       {"seq": msg.payload.get("seq")}, Category.CONFIG)
+                       {"seq": msg.payload.get("seq")}, Category.CONFIG,
+                       corr=msg.corr)
             return
         assert self.head is not None
         base_latency = msg.payload.get("lat", 0) + msg.hops
@@ -373,13 +420,31 @@ class QuorumProtocolAgent(
         pending = PendingConfig(
             requester=requester, kind="common", address=address,
             owner_id=owner_id if owner_id is not None else self.node_id,
+            corr=msg.corr,
             latency_hops=base_latency,
             relay_of=msg.src if "origin" in msg.payload else None,
         )
         pending.req_seq = msg.payload.get("seq")  # type: ignore[attr-defined]
         self._pending[pending.attempt_id] = pending
         self._pending_addresses.add(address)
+        obs = self.ctx.obs
+        if obs:
+            obs.emit(obs_ev.ConfigRequested(
+                time=self.ctx.sim.now, node=self.node_id, corr=pending.corr,
+                attempt=pending.attempt_id, requester=pending.requester,
+                kind="common", address=address, owner=pending.owner_id,
+                relayed=pending.relay_of is not None))
         self._start_vote(pending)
+
+    def _abort_unaccepted(self, msg: Message, reason: str) -> None:
+        """Terminal event for a request refused before any PendingConfig
+        existed (the requester's span must still close explicitly)."""
+        obs = self.ctx.obs
+        if obs and msg.corr:
+            obs.emit(obs_ev.ConfigAborted(
+                time=self.ctx.sim.now, node=self.node_id, corr=msg.corr,
+                attempt=0, requester=msg.payload.get("origin", msg.src),
+                reason=reason))
 
     def _relay_or_nack(self, msg: Message, base_latency: int) -> None:
         """Section V-A: out of addresses entirely — act as an agent and
@@ -393,6 +458,7 @@ class QuorumProtocolAgent(
             # churn can strand blocks with no owner) and the audit
             # recovered nothing usable: re-found with a fresh space.
             self._dry_nacks = 0
+            self._abort_unaccepted(msg, "bankrupt")
             self._become_isolated_network(flood_component=True)
             return
         configurer = self.head.configurer_id
@@ -405,10 +471,13 @@ class QuorumProtocolAgent(
             relayed = dict(msg.payload)
             relayed["lat"] = base_latency
             relayed["origin"] = msg.src
-            self._send(configurer, m.COM_REQ, relayed, Category.CONFIG)
+            self._send(configurer, m.COM_REQ, relayed, Category.CONFIG,
+                       corr=msg.corr)
         else:
+            self._abort_unaccepted(msg, "dry")
             self._send(msg.src, m.COM_NACK,
-                       {"seq": msg.payload.get("seq")}, Category.CONFIG)
+                       {"seq": msg.payload.get("seq")}, Category.CONFIG,
+                       corr=msg.corr)
 
     # ==================================================================
     # Quorum voting — Sections II-C/D, IV-B
@@ -457,10 +526,24 @@ class QuorumProtocolAgent(
             system = DynamicLinearVoting(distinguished=pending.owner_id)
         else:
             system = MajorityQuorumSystem()
+        own_record = self._own_record(pending)
         pending.collector = VoteCollector(pending.address, universe, system)
         pending.collector.add_vote(
-            Vote(self.node_id, pending.address, self._own_record(pending))
+            Vote(self.node_id, pending.address, own_record)
         )
+        obs = self.ctx.obs
+        if obs:
+            obs.emit(obs_ev.VoteStarted(
+                time=self.ctx.sim.now, node=self.node_id, corr=pending.corr,
+                attempt=pending.attempt_id, address=pending.address,
+                owner=pending.owner_id, universe=len(universe),
+                quorum="linear" if self.cfg.use_linear_voting else "majority"))
+            # The allocator's own verdict counts toward the quorum too.
+            obs.emit(obs_ev.VoteReceived(
+                time=self.ctx.sim.now, node=self.node_id, corr=pending.corr,
+                attempt=pending.attempt_id, voter=self.node_id,
+                address=pending.address, status=own_record.status.value,
+                timestamp=own_record.timestamp))
         payload: Dict[str, Any] = {
             "attempt": pending.attempt_id,
             "address": pending.address,
@@ -469,7 +552,8 @@ class QuorumProtocolAgent(
         if pending.block is not None:
             payload["block"] = (pending.block.start, pending.block.size)
         for member in sorted(universe - {self.node_id}):
-            delivery = self._send(member, m.QUORUM_CLT, payload, Category.CONFIG)
+            delivery = self._send(member, m.QUORUM_CLT, payload,
+                                  Category.CONFIG, corr=pending.corr)
             if delivery.ok:
                 pending.vote_sent[member] = delivery.hops
             elif self.cfg.adjustment_enabled:
@@ -505,7 +589,7 @@ class QuorumProtocolAgent(
             "status": record.status.value,
             "holder": record.holder,
             "conflict": conflict,
-        }, Category.CONFIG)
+        }, Category.CONFIG, corr=msg.corr)
 
     def _cross_owner_conflict(self, proposer: int, owner_id: int,
                               address: int,
@@ -614,6 +698,14 @@ class QuorumProtocolAgent(
             # and never let _learn_latest adopt this synthetic entry.
             record = AddressRecord(AddressStatus.ASSIGNED, CONFLICT_TS, None)
         pending.collector.add_vote(Vote(msg.src, pending.address, record))
+        obs = self.ctx.obs
+        if obs:
+            obs.emit(obs_ev.VoteReceived(
+                time=self.ctx.sim.now, node=self.node_id, corr=pending.corr,
+                attempt=pending.attempt_id, voter=msg.src,
+                address=pending.address, status=record.status.value,
+                timestamp=record.timestamp,
+                conflict=bool(msg.payload.get("conflict"))))
         if self.cfg.adjustment_enabled:
             self._clear_suspicion(msg.src)
         self._maybe_decide(pending)
@@ -625,11 +717,20 @@ class QuorumProtocolAgent(
             return
         if pending.collector.decide() is not None:
             return  # already decided
+        obs = self.ctx.obs
+        if obs:
+            responders = pending.collector.responders
+            universe = pending.collector.universe
+            obs.emit(obs_ev.VoteTimeout(
+                time=self.ctx.sim.now, node=self.node_id, corr=pending.corr,
+                attempt=pending.attempt_id, address=pending.address,
+                responders=len(responders), universe=len(universe),
+                missing=tuple(sorted(universe - responders))))
         if self.cfg.adjustment_enabled:
             for member in pending.collector.universe - pending.collector.responders:
                 if member != self.node_id:
                     self._suspect_member(member)
-        self._abort_attempt(pending)
+        self._abort_attempt(pending, reason="vote-timeout")
 
     def _maybe_decide(self, pending: PendingConfig) -> None:
         assert pending.collector is not None
@@ -649,6 +750,16 @@ class QuorumProtocolAgent(
         timer = self._vote_timers.pop(pending.attempt_id, None)
         if timer is not None:
             timer.stop()
+        obs = self.ctx.obs
+        if obs:
+            latest = pending.collector.latest_record()
+            obs.emit(obs_ev.VoteDecided(
+                time=self.ctx.sim.now, node=self.node_id, corr=pending.corr,
+                attempt=pending.attempt_id, address=pending.address,
+                granted=bool(decision),
+                deciding_ts=latest.timestamp if latest is not None else 0,
+                responders=len(pending.collector.responders),
+                universe=len(pending.collector.universe)))
         if decision:
             self._commit(pending)
         else:
@@ -678,14 +789,14 @@ class QuorumProtocolAgent(
         pending.latency_hops += pending.quorum_round_trip()
         pending.address_retries += 1
         if pending.address_retries >= MAX_ADDRESS_RETRIES or pending.kind == "head":
-            self._abort_attempt(pending)
+            self._abort_attempt(pending, reason="address-retries")
             return
         candidate = select_candidate(
             self.head, self._reserved_addresses(),
             borrowing_enabled=self.cfg.borrowing_enabled,
         )
         if candidate is None:
-            self._abort_attempt(pending)
+            self._abort_attempt(pending, reason="dry")
             return
         pending.address, owner = candidate
         pending.owner_id = owner if owner is not None else self.node_id
@@ -693,13 +804,21 @@ class QuorumProtocolAgent(
         self._pending_addresses.add(pending.address)
         self._start_vote(pending)
 
-    def _abort_attempt(self, pending: PendingConfig) -> None:
+    def _abort_attempt(self, pending: PendingConfig,
+                       reason: str = "aborted") -> None:
         self._drop_pending(pending)
         if pending.block is not None and self.head is not None:
             self.head.pool.absorb_block(pending.block)
+        obs = self.ctx.obs
+        if obs:
+            obs.emit(obs_ev.ConfigAborted(
+                time=self.ctx.sim.now, node=self.node_id, corr=pending.corr,
+                attempt=pending.attempt_id, requester=pending.requester,
+                reason=reason))
         nack = m.CH_NACK if pending.kind == "head" else m.COM_NACK
         self._send(pending.requester, nack,
-                   {"seq": getattr(pending, "req_seq", None)}, Category.CONFIG)
+                   {"seq": getattr(pending, "req_seq", None)}, Category.CONFIG,
+                   corr=pending.corr)
 
     def _drop_pending(self, pending: PendingConfig) -> None:
         self._pending.pop(pending.attempt_id, None)
@@ -750,6 +869,7 @@ class QuorumProtocolAgent(
                     address, self.ctx.resolve_ip(address))
             self._retry_with_new_address(pending)
             return
+        obs = self.ctx.obs
         if pending.owner_id == self.node_id:
             allocated = self.head.pool.allocate(address)
             if allocated is None:
@@ -760,7 +880,7 @@ class QuorumProtocolAgent(
         else:
             replica = self.head.replicas.get(pending.owner_id)
             if replica is None:
-                self._abort_attempt(pending)
+                self._abort_attempt(pending, reason="no-replica")
                 return
             record = replica.ledger.mark_assigned(address, pending.requester)
             # The owner is the serialization point for its space: the
@@ -773,12 +893,17 @@ class QuorumProtocolAgent(
                 "ts": record.timestamp,
                 "status": record.status.value,
                 "holder": record.holder,
-            }, Category.CONFIG)
+            }, Category.CONFIG, corr=pending.corr)
             if not owner_commit.ok:
                 replica.ledger.mark_free(address)
-                self._abort_attempt(pending)
+                self._abort_attempt(pending, reason="owner-unreachable")
                 return
             self.borrows_performed += 1
+            if obs:
+                obs.emit(obs_ev.AddressBorrowed(
+                    time=self.ctx.sim.now, node=self.node_id,
+                    corr=pending.corr, owner=pending.owner_id,
+                    address=address, requester=pending.requester))
         owner_ip = self._ip_of_head(pending.owner_id)
         delivery = self._send(pending.requester, m.COM_CFG, {
             "seq": getattr(pending, "req_seq", None),
@@ -788,9 +913,17 @@ class QuorumProtocolAgent(
             "network_id": self.network_id,
             "lat": pending.latency_hops,
             "attempt": pending.attempt_id,
-        }, Category.CONFIG)
+        }, Category.CONFIG, corr=pending.corr)
         pending.cfg_delivered = delivery.ok
-        self._broadcast_update(pending.owner_id, address, record, Category.CONFIG)
+        if obs:
+            obs.emit(obs_ev.ConfigCommitted(
+                time=self.ctx.sim.now, node=self.node_id, corr=pending.corr,
+                attempt=pending.attempt_id, requester=pending.requester,
+                address=address, kind="common",
+                borrowed=pending.owner_id != self.node_id,
+                latency_hops=pending.latency_hops))
+        self._broadcast_update(pending.owner_id, address, record,
+                               Category.CONFIG, corr=pending.corr)
         self.head.configured[address] = pending.requester
         self.ctx.sim.schedule(
             4 * self.cfg.config_timeout, self._grant_cleanup,
@@ -803,12 +936,20 @@ class QuorumProtocolAgent(
         return None
 
     def _broadcast_update(self, owner_id: int, address: int,
-                          record: AddressRecord, category: Category) -> None:
+                          record: AddressRecord, category: Category,
+                          corr: int = 0) -> None:
         """QUORUM_UPD: commit the write at every replica (and the owner)."""
         assert self.head is not None
         targets = set(self.head.qdset.active_members())
         if owner_id != self.node_id:
             targets.add(owner_id)
+        obs = self.ctx.obs
+        if obs:
+            obs.emit(obs_ev.WriteBack(
+                time=self.ctx.sim.now, node=self.node_id, corr=corr,
+                owner=owner_id, address=address,
+                status=record.status.value, timestamp=record.timestamp,
+                targets=tuple(sorted(targets))))
         payload = {
             "owner_id": owner_id,
             "address": address,
@@ -817,7 +958,7 @@ class QuorumProtocolAgent(
             "holder": record.holder,
         }
         for target in sorted(targets):
-            self._send(target, m.QUORUM_UPD, payload, category)
+            self._send(target, m.QUORUM_UPD, payload, category, corr=corr)
 
     def _handle_quorum_upd(self, msg: Message) -> None:
         if self.head is None:
@@ -853,13 +994,13 @@ class QuorumProtocolAgent(
                 # Duplicate of the grant we accepted: re-acknowledge.
                 self._send(msg.src, m.COM_ACK, {
                     "attempt": msg.payload.get("attempt"),
-                }, Category.CONFIG)
+                }, Category.CONFIG, corr=msg.corr)
             else:
                 # Configured through a different allocator: decline so
                 # the grant is rolled back.
                 self._send(msg.src, m.COM_DECLINE, {
                     "attempt": msg.payload.get("attempt"),
-                }, Category.CONFIG)
+                }, Category.CONFIG, corr=msg.corr)
             return
         address = msg.payload["address"]
         self.common = CommonState(
@@ -871,7 +1012,16 @@ class QuorumProtocolAgent(
         self.config_latency_hops = msg.payload["lat"] + msg.hops
         self._send_with_retry(msg.src, m.COM_ACK,
                               {"attempt": msg.payload.get("attempt")},
-                              Category.CONFIG)
+                              Category.CONFIG, corr=msg.corr)
+        obs = self.ctx.obs
+        if obs:
+            # The requester's correlation id rode the whole exchange;
+            # adopt it so the span's terminal lands in the right tree.
+            self._corr = msg.corr
+            obs.emit(obs_ev.ConfigCompleted(
+                time=self.ctx.sim.now, node=self.node_id, corr=msg.corr,
+                address=address, kind="common",
+                latency_hops=self.config_latency_hops))
         self._finish_configuration(self.config_latency_hops)
 
     def _handle_com_ack(self, msg: Message) -> None:
@@ -892,7 +1042,8 @@ class QuorumProtocolAgent(
             self.head.pool.absorb_block(pending.block)
             self.head.configured.pop(pending.block.start, None)
             self._broadcast_update(
-                self.node_id, pending.block.start, record, Category.CONFIG)
+                self.node_id, pending.block.start, record, Category.CONFIG,
+                corr=pending.corr)
             self._refresh_replica_at_members(want_ack=False)
             return
         address = pending.address
@@ -901,13 +1052,15 @@ class QuorumProtocolAgent(
                 record = self.head.ledger.mark_free(address)
                 self.head.configured.pop(address, None)
                 self._broadcast_update(
-                    self.node_id, address, record, Category.CONFIG)
+                    self.node_id, address, record, Category.CONFIG,
+                    corr=pending.corr)
         else:
             replica = self.head.replicas.get(pending.owner_id)
             if replica is not None:
                 record = replica.ledger.mark_free(address)
                 self._broadcast_update(
-                    pending.owner_id, address, record, Category.CONFIG)
+                    pending.owner_id, address, record, Category.CONFIG,
+                    corr=pending.corr)
 
     def _handle_com_decline(self, msg: Message) -> None:
         pending = self._pending.get(msg.payload.get("attempt"))
@@ -948,42 +1101,52 @@ class QuorumProtocolAgent(
     # ==================================================================
     def _handle_ch_req(self, msg: Message) -> None:
         if not self.is_allocator():
+            self._abort_unaccepted(msg, "not-allocator")
             self._send(msg.src, m.CH_NACK,
-                       {"seq": msg.payload.get("seq")}, Category.CONFIG)
+                       {"seq": msg.payload.get("seq")}, Category.CONFIG,
+                       corr=msg.corr)
             return
         assert self.head is not None
         block = self.head.pool.take_half()
         if block is None:
+            self._abort_unaccepted(msg, "dry")
             self._send(msg.src, m.CH_NACK,
-                       {"seq": msg.payload.get("seq")}, Category.CONFIG)
+                       {"seq": msg.payload.get("seq")}, Category.CONFIG,
+                       corr=msg.corr)
             return
         pending = PendingConfig(
             requester=msg.src, kind="head", address=block.start,
-            owner_id=self.node_id, block=block,
+            owner_id=self.node_id, corr=msg.corr, block=block,
             latency_hops=msg.payload.get("lat", 0) + msg.hops,
         )
         pending.req_seq = msg.payload.get("seq")  # type: ignore[attr-defined]
         self._pending[pending.attempt_id] = pending
         self._pending_addresses.add(block.start)
+        obs = self.ctx.obs
+        if obs:
+            obs.emit(obs_ev.ConfigRequested(
+                time=self.ctx.sim.now, node=self.node_id, corr=pending.corr,
+                attempt=pending.attempt_id, requester=pending.requester,
+                kind="head", address=block.start, owner=self.node_id))
         delivery = self._send(msg.src, m.CH_PRP, {
             "seq": msg.payload.get("seq"),
             "attempt": pending.attempt_id,
             "block": (block.start, block.size),
             "lat": pending.latency_hops,
-        }, Category.CONFIG)
+        }, Category.CONFIG, corr=pending.corr)
         if not delivery.ok:
-            self._abort_attempt(pending)
+            self._abort_attempt(pending, reason="proposal-undeliverable")
 
     def _handle_ch_prp(self, msg: Message) -> None:
         if self.is_configured():
             self._send(msg.src, m.CH_DECLINE, {
                 "attempt": msg.payload.get("attempt"),
-            }, Category.CONFIG)
+            }, Category.CONFIG, corr=msg.corr)
             return
         self._send(msg.src, m.CH_CNF, {
             "attempt": msg.payload["attempt"],
             "lat": msg.payload["lat"] + msg.hops,
-        }, Category.CONFIG)
+        }, Category.CONFIG, corr=msg.corr)
 
     def _handle_ch_cnf(self, msg: Message) -> None:
         pending = self._pending.get(msg.payload["attempt"])
@@ -999,6 +1162,7 @@ class QuorumProtocolAgent(
             address for address in block.addresses()
             if self._acd_conflict(address, pending.requester)
         ]
+        obs = self.ctx.obs
         if conflicts:
             # Put the block back, but book the truth first so the next
             # take_half carves around the conflicting addresses.
@@ -1008,9 +1172,14 @@ class QuorumProtocolAgent(
                 self.head.ledger.mark_assigned(
                     address, self.ctx.resolve_ip(address))
             self._drop_pending(pending)
+            if obs:
+                obs.emit(obs_ev.ConfigAborted(
+                    time=self.ctx.sim.now, node=self.node_id,
+                    corr=pending.corr, attempt=pending.attempt_id,
+                    requester=pending.requester, reason="acd-conflict"))
             self._send(pending.requester, m.CH_NACK,
                        {"seq": getattr(pending, "req_seq", None)},
-                       Category.CONFIG)
+                       Category.CONFIG, corr=pending.corr)
             return
         record = self.head.ledger.mark_assigned(block.start, pending.requester)
         delivery = self._send(pending.requester, m.CH_CFG, {
@@ -1021,15 +1190,28 @@ class QuorumProtocolAgent(
             "allocator_id": self.node_id,
             "network_id": self.network_id,
             "lat": pending.latency_hops,
-        }, Category.CONFIG)
+        }, Category.CONFIG, corr=pending.corr)
         if not delivery.ok:
             self.head.pool.absorb_block(block)
             self._drop_pending(pending)
+            if obs:
+                obs.emit(obs_ev.ConfigAborted(
+                    time=self.ctx.sim.now, node=self.node_id,
+                    corr=pending.corr, attempt=pending.attempt_id,
+                    requester=pending.requester,
+                    reason="grant-undeliverable"))
             return
         pending.cfg_delivered = True
+        if obs:
+            obs.emit(obs_ev.ConfigCommitted(
+                time=self.ctx.sim.now, node=self.node_id, corr=pending.corr,
+                attempt=pending.attempt_id, requester=pending.requester,
+                address=block.start, kind="head", borrowed=False,
+                latency_hops=pending.latency_hops))
         # The donated block leaves our space; refresh replicas so QDSet
         # members stop treating it as ours.
-        self._broadcast_update(self.node_id, block.start, record, Category.CONFIG)
+        self._broadcast_update(self.node_id, block.start, record,
+                               Category.CONFIG, corr=pending.corr)
         self._refresh_replica_at_members(want_ack=False)
         self.ctx.sim.schedule(
             4 * self.cfg.config_timeout, self._grant_cleanup,
@@ -1041,11 +1223,11 @@ class QuorumProtocolAgent(
             if self.head is not None and self.head.ip == offered.start:
                 self._send(msg.src, m.CH_ACK, {
                     "attempt": msg.payload.get("attempt"),
-                }, Category.CONFIG)
+                }, Category.CONFIG, corr=msg.corr)
             else:
                 self._send(msg.src, m.CH_DECLINE, {
                     "attempt": msg.payload.get("attempt"),
-                }, Category.CONFIG)
+                }, Category.CONFIG, corr=msg.corr)
             return
         block = Block(*msg.payload["block"])
         state = HeadState(
@@ -1061,7 +1243,14 @@ class QuorumProtocolAgent(
         self.config_latency_hops = msg.payload["lat"] + msg.hops
         self._send_with_retry(msg.src, m.CH_ACK,
                               {"attempt": msg.payload.get("attempt")},
-                              Category.CONFIG)
+                              Category.CONFIG, corr=msg.corr)
+        obs = self.ctx.obs
+        if obs:
+            self._corr = msg.corr
+            obs.emit(obs_ev.ConfigCompleted(
+                time=self.ctx.sim.now, node=self.node_id, corr=msg.corr,
+                address=block.start, kind="head",
+                latency_hops=self.config_latency_hops))
         self._finish_configuration(self.config_latency_hops)
         self._initialize_head_neighborhood()
 
@@ -1162,6 +1351,7 @@ class QuorumProtocolAgent(
                                       max_hops=ADJACENT_HEAD_HOPS)
         if hops is not None:
             self.head.qdset.add(head_id)
+            self._emit_qdset_change(head_id, "add")
 
     # ==================================================================
     # Shared network-id observation (partition/merge detection input)

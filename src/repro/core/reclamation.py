@@ -37,11 +37,20 @@ from repro.net.message import Message
 from repro.net.stats import Category
 from repro.net.transport import Scope
 from repro.addrspace.records import AddressRecord, AddressStatus
+from repro.obs import events as obs_ev
 from repro.sim.timers import Timer
 
 
 class ReclamationMixin:
     """ADDR_REC / REC_REP handling and space absorption."""
+
+    def _emit_reclaim(self, dead_id: int, phase: str) -> None:
+        """ReclamationEvent observability hook (no-op when tracing off)."""
+        obs = self.ctx.obs
+        if obs:
+            obs.emit(obs_ev.ReclamationEvent(
+                time=self.ctx.sim.now, node=self.node_id, corr=0,
+                dead=dead_id, phase=phase))
 
     def _init_reclamation_state(self) -> None:
         self._reclaimed: Set[int] = set()
@@ -98,6 +107,7 @@ class ReclamationMixin:
             scope=Scope.FLOOD, max_hops=self.cfg.reclamation_radius,
         )
         self.ctx.events.incr("reclamation_initiated")
+        self._emit_reclaim(dead_id, "initiated")
         timer = Timer(self.ctx.sim, self._conclude_reclamation)
         timer.start(self.cfg.reclamation_window, dead_id)
         self._reclaim_timers[dead_id] = timer
@@ -200,11 +210,13 @@ class ReclamationMixin:
             self._reclaimed.discard(dead_id)
             if self.ctx.is_head(dead_id):
                 self.head.qdset.add(dead_id)
+            self._emit_reclaim(dead_id, "cancelled")
             return
         absorber = min(self._surviving_holders(dead_id, holders))
         if absorber == self.node_id:
             self._sync_then_absorb(dead_id)
         else:
+            self._emit_reclaim(dead_id, "delegated")
             self._send(absorber, m.REC_DELEGATE, {"dead_id": dead_id},
                        Category.RECLAMATION)
             # We keep our replica until the absorber's refresh replaces
@@ -324,6 +336,7 @@ class ReclamationMixin:
             if record.holder is not None:
                 self.head.configured[address] = record.holder
         self.head.qdset.remove(dead_id)
+        self._emit_reclaim(dead_id, "absorbed")
         self._refresh_replica_at_members(want_ack=False)
 
     # ------------------------------------------------------------------

@@ -41,6 +41,7 @@ class ScenarioBuilder:
     """
 
     _default_faults: Optional[FaultSpec] = None  # process-wide (CLI --faults)
+    _default_trace: bool = False                 # process-wide (CLI --trace)
 
     def __init__(self) -> None:
         self._fields: Dict[str, Any] = {}
@@ -61,6 +62,19 @@ class ScenarioBuilder:
     @classmethod
     def default_faults(cls) -> Optional[FaultSpec]:
         return cls._default_faults
+
+    # ------------------------------------------------------------------
+    # Process-wide trace attachment (the CLI's --trace flag)
+    # ------------------------------------------------------------------
+    @classmethod
+    def set_default_trace(cls, enabled: bool) -> None:
+        """Enable structured tracing on every scenario built without an
+        explicit ``trace(...)`` call (``False`` resets)."""
+        cls._default_trace = bool(enabled)
+
+    @classmethod
+    def default_trace(cls) -> bool:
+        return cls._default_trace
 
     # ------------------------------------------------------------------
     # Fluent setters
@@ -174,6 +188,10 @@ class ScenarioBuilder:
         self._faults = spec if spec is not None else FaultSpec(**spec_fields)
         return self
 
+    def trace(self, enabled: bool = True) -> "ScenarioBuilder":
+        """Record structured protocol events during the run."""
+        return self._set("trace", enabled)
+
     def overrides(self, **fields: Any) -> "ScenarioBuilder":
         """Set raw scenario fields by name (validated against Scenario)."""
         for name, value in fields.items():
@@ -193,6 +211,8 @@ class ScenarioBuilder:
         fields = dict(self._fields)
         if faults is not None:
             fields["faults"] = faults
+        if "trace" not in fields and ScenarioBuilder._default_trace:
+            fields["trace"] = True
         return Scenario(**fields)
 
 

@@ -77,6 +77,12 @@ class RunResult:
     # algorithmic work only — never wall clock — so they are identical
     # across machines, reruns and worker counts.
     perf_counters: Dict[str, int] = dataclasses.field(default_factory=dict)
+    # Structured-tracing aggregates (empty unless Scenario.trace): span
+    # latency histograms per phase (fixed buckets, see
+    # repro.obs.spans.BUCKET_EDGES) and span counts per outcome.  Both
+    # are sim-time derived, so serial and parallel runs agree exactly.
+    obs_histograms: Dict[str, List[int]] = dataclasses.field(default_factory=dict)
+    obs_spans: Dict[str, int] = dataclasses.field(default_factory=dict)
 
     # ------------------------------------------------------------------
     # Derived metrics (the quantities plotted in the paper)
@@ -218,6 +224,10 @@ class RunResult:
             del payload["events"]
         if not payload["perf_counters"]:
             del payload["perf_counters"]
+        if not payload["obs_histograms"]:
+            del payload["obs_histograms"]
+        if not payload["obs_spans"]:
+            del payload["obs_spans"]
         return payload
 
     @classmethod

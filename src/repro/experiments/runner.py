@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import json
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.baselines.buddy import BuddyAgent, BuddyConfig
@@ -11,6 +12,7 @@ from repro.baselines.manetconf import ManetconfAgent, ManetconfConfig
 from repro.baselines.prophet import ProphetAgent, ProphetConfig
 from repro.baselines.weakdad import WeakDadAgent, WeakDadConfig
 from repro.core.config import ProtocolConfig
+from repro.core.configuration import reset_attempt_ids
 from repro.core.protocol import QuorumProtocolAgent
 from repro.experiments.metrics import DeathRecord, NodeOutcome, RunResult
 from repro.experiments.scenario import Scenario
@@ -19,6 +21,10 @@ from repro.mobility import RandomWaypoint, build_plans
 from repro.mobility.base import Stationary
 from repro.net.context import NetworkContext
 from repro.net.node import Node
+from repro.obs import (
+    TraceRecorder, build_spans, span_histograms, span_outcomes,
+    trace_export_path,
+)
 
 PROTOCOLS: Dict[str, Callable[..., Any]] = {
     "quorum": QuorumProtocolAgent,
@@ -62,6 +68,10 @@ class ScenarioRunner:
         )
         self.count_hello_cost = count_hello_cost
         self.ctx: Optional[NetworkContext] = None
+        # Populated (and subscribed to the run's event bus) only when
+        # scenario.trace is set; otherwise the bus stays subscriber-free
+        # and every emission site short-circuits.
+        self.recorder: Optional[TraceRecorder] = None
         self.deaths: List[DeathRecord] = []
         self.graceful_departures = 0
         self.abrupt_departures = 0
@@ -71,6 +81,9 @@ class ScenarioRunner:
     def run(self) -> RunResult:
         scenario = self.scenario
         region = Region(*scenario.area)
+        # Attempt-id tokens restart per run so recorded traces don't
+        # depend on how many runs this process executed before.
+        reset_attempt_ids()
         ctx = NetworkContext.build(
             seed=scenario.seed,
             transmission_range=scenario.transmission_range,
@@ -78,6 +91,8 @@ class ScenarioRunner:
             faults=scenario.faults,
         )
         self.ctx = ctx
+        if scenario.trace:
+            self.recorder = TraceRecorder().attach(ctx.obs)
         if self.count_hello_cost:
             ctx.hello.start()
 
@@ -230,6 +245,13 @@ class ScenarioRunner:
                 extension_ratios.append(head.extension_ratio())
                 ip_space_total += head.ip_space_size()
                 quorum_space_total += head.quorum_space_size()
+        obs_histograms: Dict[str, List[int]] = {}
+        obs_spans: Dict[str, int] = {}
+        if self.recorder is not None:
+            spans = build_spans(self.recorder.events)
+            obs_histograms = span_histograms(spans)
+            obs_spans = span_outcomes(spans)
+            self._export_trace()
         return RunResult(
             protocol=self.protocol,
             num_nodes=self.scenario.num_nodes,
@@ -251,7 +273,26 @@ class ScenarioRunner:
             stats_drops=dict(ctx.stats.drops_snapshot()),
             events=dict(ctx.events.snapshot()),
             perf_counters=ctx.perf.counters_snapshot(),
+            obs_histograms=obs_histograms,
+            obs_spans=obs_spans,
         )
+
+    def _export_trace(self) -> None:
+        """Append this run's JSONL to the process-wide sink, if any."""
+        assert self.recorder is not None
+        path = trace_export_path()
+        if path is None:
+            return
+        header = json.dumps({
+            "run": {"protocol": self.protocol,
+                    "seed": self.scenario.seed,
+                    "num_nodes": self.scenario.num_nodes,
+                    "events": len(self.recorder),
+                    "truncated": self.recorder.truncated}},
+            sort_keys=True, separators=(",", ":"))
+        with open(path, "a", encoding="utf-8") as sink:
+            sink.write(header + "\n")
+            sink.write(self.recorder.to_jsonl())
 
 
 def run_scenario(

@@ -47,6 +47,11 @@ class Scenario:
             :mod:`repro.faults`.  ``None`` — the default — keeps the
             transport perfectly reliable, and such scenarios hash to
             the same sweep-cache key as before the fault layer existed.
+        trace: record structured protocol events (:mod:`repro.obs`)
+            during the run; span latency histograms and outcome counts
+            land on the :class:`~repro.experiments.metrics.RunResult`.
+            ``False`` — the default — keeps the event bus empty (zero
+            overhead) and the sweep-cache key unchanged.
     """
 
     num_nodes: int = 100
@@ -65,6 +70,7 @@ class Scenario:
     settle_time: float = 30.0
     seed: int = 0
     faults: Optional[FaultSpec] = None
+    trace: bool = False
 
     def __post_init__(self) -> None:
         if self.num_nodes < 1:

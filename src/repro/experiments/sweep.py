@@ -90,6 +90,10 @@ class RunSpec:
         faults = self.scenario.faults
         if faults is None or faults.is_null():
             scenario.pop("faults", None)
+        # Likewise for tracing: untraced scenarios keep the cache key
+        # they had before the observability layer existed.
+        if not scenario.get("trace"):
+            scenario.pop("trace", None)
         return {
             "protocol": self.protocol,
             "scenario": scenario,
@@ -253,6 +257,29 @@ class SweepReport:
         for result in self.results:
             for name, count in result.perf_counters.items():
                 totals[name] = totals.get(name, 0) + count
+        return dict(sorted(totals.items()))
+
+    def obs_histogram_totals(self) -> Dict[str, List[int]]:
+        """Elementwise sum of every run's span latency histograms.
+
+        Buckets are fixed (:data:`repro.obs.spans.BUCKET_EDGES`), so
+        merging is exact and independent of worker count or cell order.
+        Empty when no cell was traced.
+        """
+        from repro.obs import merge_histograms
+
+        totals: Dict[str, List[int]] = {}
+        for result in self.results:
+            if result.obs_histograms:
+                totals = merge_histograms(totals, result.obs_histograms)
+        return dict(sorted(totals.items()))
+
+    def obs_span_totals(self) -> Dict[str, int]:
+        """Span count per outcome, summed across traced cells."""
+        totals: Dict[str, int] = {}
+        for result in self.results:
+            for outcome, count in result.obs_spans.items():
+                totals[outcome] = totals.get(outcome, 0) + count
         return dict(sorted(totals.items()))
 
 

@@ -226,6 +226,50 @@ class SendApiRule(Rule):
                     "use Transport.send(..., scope=...) instead")
 
 
+def _frozen_slotted_findings(rule: Rule, ctx: FileContext,
+                             noun: str) -> Iterator[Finding]:
+    """Findings for dataclasses in ``ctx`` that are not frozen+slotted."""
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        dataclass_deco = None
+        has_slot_decorator = False
+        for deco in node.decorator_list:
+            target = deco.func if isinstance(deco, ast.Call) else deco
+            name = _dotted(target) or ""
+            short = name.split(".")[-1]
+            if short == "dataclass":
+                dataclass_deco = deco
+            elif "slot" in short:
+                has_slot_decorator = True
+        if dataclass_deco is None:
+            continue
+        frozen = slots = False
+        if isinstance(dataclass_deco, ast.Call):
+            for kw in dataclass_deco.keywords:
+                value = isinstance(kw.value, ast.Constant) and \
+                    kw.value.value is True
+                if kw.arg == "frozen" and value:
+                    frozen = True
+                if kw.arg == "slots" and value:
+                    slots = True
+        has_body_slots = any(
+            isinstance(stmt, ast.Assign) and any(
+                isinstance(t, ast.Name) and t.id == "__slots__"
+                for t in stmt.targets)
+            for stmt in node.body)
+        if not frozen:
+            yield ctx.finding(
+                rule, node,
+                f"{noun} dataclass {node.name} must be declared "
+                "@dataclass(frozen=True)")
+        if not (slots or has_body_slots or has_slot_decorator):
+            yield ctx.finding(
+                rule, node,
+                f"{noun} dataclass {node.name} must be slotted "
+                "(slots=True, __slots__, or an add-slots decorator)")
+
+
 class FrozenMessageRule(Rule):
     """Message dataclasses must be immutable value objects.
 
@@ -246,45 +290,47 @@ class FrozenMessageRule(Rule):
         return ctx.is_module(*self._MODULES)
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
+        yield from _frozen_slotted_findings(self, ctx, "message")
+
+
+class FrozenEventRule(Rule):
+    """Observability events are immutable, deterministic value objects.
+
+    The event vocabulary (:mod:`repro.obs.events`) must be frozen +
+    slotted so a recorded stream cannot be mutated after emission.  And
+    the observability package may not import entropy or wall-clock
+    sources (uuid/secrets/datetime): correlation ids come from the bus
+    counter and timestamps from the simulated clock, which is what
+    makes traces byte-identical across reruns and worker counts.
+    """
+
+    name = "frozen-event"
+    description = ("repro.obs.events dataclasses must be frozen+slotted; "
+                   "uuid/secrets/datetime imports banned in repro.obs")
+    severity = Severity.ERROR
+
+    _ENTROPY_ROOTS = {"uuid", "secrets", "datetime"}
+
+    def applies(self, ctx: FileContext) -> bool:
+        return ctx.in_package("repro.obs")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.is_module("repro.obs.events"):
+            yield from _frozen_slotted_findings(self, ctx, "event")
+        message = ("import of {name!r} in repro.obs; correlation ids "
+                   "come from the bus counter and timestamps from the "
+                   "simulated clock — no uuid/entropy/wall-clock sources")
         for node in ast.walk(ctx.tree):
-            if not isinstance(node, ast.ClassDef):
-                continue
-            dataclass_deco = None
-            has_slot_decorator = False
-            for deco in node.decorator_list:
-                target = deco.func if isinstance(deco, ast.Call) else deco
-                name = _dotted(target) or ""
-                short = name.split(".")[-1]
-                if short == "dataclass":
-                    dataclass_deco = deco
-                elif "slot" in short:
-                    has_slot_decorator = True
-            if dataclass_deco is None:
-                continue
-            frozen = slots = False
-            if isinstance(dataclass_deco, ast.Call):
-                for kw in dataclass_deco.keywords:
-                    value = isinstance(kw.value, ast.Constant) and \
-                        kw.value.value is True
-                    if kw.arg == "frozen" and value:
-                        frozen = True
-                    if kw.arg == "slots" and value:
-                        slots = True
-            has_body_slots = any(
-                isinstance(stmt, ast.Assign) and any(
-                    isinstance(t, ast.Name) and t.id == "__slots__"
-                    for t in stmt.targets)
-                for stmt in node.body)
-            if not frozen:
-                yield ctx.finding(
-                    self, node,
-                    f"message dataclass {node.name} must be declared "
-                    "@dataclass(frozen=True)")
-            if not (slots or has_body_slots or has_slot_decorator):
-                yield ctx.finding(
-                    self, node,
-                    f"message dataclass {node.name} must be slotted "
-                    "(slots=True, __slots__, or an add-slots decorator)")
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name.split(".")[0] in self._ENTROPY_ROOTS:
+                        yield ctx.finding(
+                            self, node, message.format(name=alias.name))
+            elif isinstance(node, ast.ImportFrom) and node.module and \
+                    node.level == 0:
+                if node.module.split(".")[0] in self._ENTROPY_ROOTS:
+                    yield ctx.finding(
+                        self, node, message.format(name=node.module))
 
 
 class HopBoundRule(Rule):
@@ -491,6 +537,7 @@ ALL_RULES: Tuple[Rule, ...] = (
     RngStreamRule(),
     SendApiRule(),
     FrozenMessageRule(),
+    FrozenEventRule(),
     HopBoundRule(),
     TimerDisciplineRule(),
     QuorumArithRule(),

@@ -19,6 +19,7 @@ from repro.net.node import Node
 from repro.net.stats import Counters, MessageStats
 from repro.net.topology import Topology
 from repro.net.transport import Transport
+from repro.obs.bus import EventBus
 from repro.perf import PerfRecorder
 from repro.sim.engine import Simulator
 
@@ -55,6 +56,10 @@ class NetworkContext:
         # the per-category hop counters in ``stats``.
         self.events: Counters = (
             faults.events if faults is not None else Counters())
+        # The run's event bus, shared with the transport: protocol
+        # layers emit structured events here (falsy while nobody
+        # subscribes — emission sites gate on that; see repro.obs).
+        self.obs: EventBus = transport.obs
         self.agents: Dict[int, Any] = {}
         self.ip_registry: Dict[int, int] = {}  # ip -> node_id
 

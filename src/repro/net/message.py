@@ -81,6 +81,12 @@ class Message:
             Copies made with :func:`dataclasses.replace` keep their
             original ``msg_id``; fan-out copies built by the transport
             (:func:`repro.net.transport.node_msg`) draw a fresh one.
+        corr: correlation id of the configuration transaction this
+            message belongs to (``0`` outside any transaction).  Drawn
+            from the run's deterministic event-bus counter — see
+            :mod:`repro.obs` — and carried end to end (replies and
+            fan-out copies keep it) so traces reconstruct each
+            allocation as one span.
     """
 
     mtype: str
@@ -91,6 +97,7 @@ class Message:
     hops: int = 0
     sent_at: float = 0.0
     msg_id: int = dataclasses.field(default_factory=lambda: next(_message_ids))
+    corr: int = 0
 
     def reply(self, mtype: str, payload: Optional[Dict[str, Any]] = None,
               network_id: Optional[int] = None) -> "Message":
@@ -101,6 +108,7 @@ class Message:
             dst=self.src,
             payload=payload or {},
             network_id=network_id,
+            corr=self.corr,
         )
 
     def __repr__(self) -> str:

@@ -1,58 +1,36 @@
 """Structured message tracing.
 
-A :class:`MessageTrace` taps a :class:`~repro.net.transport.Transport`
-and records every send — unicast, 1-hop broadcast or flood — as a typed
-event.  Used by the Table 1 reproduction and tests that assert on
-protocol exchanges.
+A :class:`MessageTrace` subscribes to a transport's event bus
+(:attr:`Transport.obs <repro.net.transport.Transport.obs>`) and records
+every send — unicast, 1-hop broadcast or flood — as a typed
+:class:`~repro.obs.events.MessageSend` event.  Used by the Table 1
+reproduction and tests that assert on protocol exchanges.
 
-The tap wraps the unified :meth:`~repro.net.transport.Transport.send`
-endpoint, so traffic issued through the deprecated ``unicast`` /
-``broadcast_1hop`` / ``flood`` shims is captured too.  It is explicit
-and reversible::
+Because every send flows through the unified
+:meth:`~repro.net.transport.Transport.send` endpoint before the bus,
+traffic issued through the deprecated ``unicast`` / ``broadcast_1hop`` /
+``flood`` shims is captured too.  Attachment is explicit and
+reversible, and both context-manager spellings are safe::
 
-    trace = MessageTrace()
-    trace.attach(ctx.transport)
-    ...run...
-    trace.detach()
-    for event in trace.unicasts():
-        print(event.mtype, event.src, event.dst)
+    with MessageTrace().attach(ctx.transport) as trace:
+        ...run...                       # detaches on exit
+    with MessageTrace.attached(ctx.transport) as trace:
+        ...run...                       # same, as one call
+
+Recording is bounded by ``limit``; events past it are tallied in
+:attr:`MessageTrace.truncated` rather than silently dropped.
 """
 
 from __future__ import annotations
 
-import dataclasses
-from typing import Callable, Iterator, List, Optional
+from typing import Any, Iterator, List, Optional
 
-from repro.net.message import Message
-from repro.net.stats import Category
-from repro.net.transport import Scope, Transport
+from repro.net.transport import Transport
+from repro.obs.bus import EventBus
+from repro.obs.events import MessageSend
 
-_KIND_BY_SCOPE = {
-    Scope.UNICAST: "unicast",
-    Scope.NEIGHBORS: "broadcast",
-    Scope.FLOOD: "flood",
-}
-
-
-@dataclasses.dataclass(frozen=True)
-class TraceEvent:
-    """One transmitted message (unicast) or flood/broadcast."""
-
-    time: float
-    kind: str                 # "unicast" | "flood" | "broadcast"
-    mtype: str
-    src: int
-    dst: Optional[int]        # None for floods/broadcasts
-    hops: int                 # route length (unicast) or cost (flood)
-    category: str
-    delivered: bool
-    dropped: int = 0          # deliveries lost to fault injection
-
-    def __str__(self) -> str:
-        target = self.dst if self.dst is not None else "*"
-        return (f"t={self.time:8.2f} {self.kind:<9} {self.mtype:<14} "
-                f"{self.src:>4} -> {target:>4} ({self.hops} hops, "
-                f"{self.category})")
+#: Back-compat alias: the transport-send event used to be defined here.
+TraceEvent = MessageSend
 
 
 class MessageTrace:
@@ -60,67 +38,59 @@ class MessageTrace:
 
     def __init__(self, mtypes: Optional[List[str]] = None,
                  limit: int = 100_000) -> None:
-        self.events: List[TraceEvent] = []
+        self.events: List[MessageSend] = []
+        self.truncated = 0
         self._mtypes = set(mtypes) if mtypes else None
         self._limit = limit
-        self._transport: Optional[Transport] = None
-        self._original_send: Optional[Callable] = None
+        self._bus: Optional[EventBus] = None
 
     # ------------------------------------------------------------------
+    @classmethod
+    def attached(cls, transport: Transport,
+                 mtypes: Optional[List[str]] = None,
+                 limit: int = 100_000) -> "MessageTrace":
+        """Construct and attach in one step (context-manager friendly)."""
+        return cls(mtypes=mtypes, limit=limit).attach(transport)
+
     def attach(self, transport: Transport) -> "MessageTrace":
-        if self._transport is not None:
+        if self._bus is not None:
             raise RuntimeError("trace already attached")
-        self._transport = transport
-        self._original_send = transport.send
-        trace = self
-
-        def traced_send(src, dst, msg: Message, *, category: Category,
-                        scope: Scope = Scope.UNICAST, max_hops=None,
-                        accept=None):
-            outcome = trace._original_send(
-                src, dst, msg, category=category, scope=scope,
-                max_hops=max_hops, accept=accept)
-            trace._record(TraceEvent(
-                time=transport.sim.now,
-                kind=_KIND_BY_SCOPE[scope],
-                mtype=msg.mtype,
-                src=src.node_id,
-                dst=dst.node_id if dst is not None else None,
-                hops=(outcome.hops if scope is Scope.UNICAST
-                      else outcome.cost_hops),
-                category=category.value,
-                delivered=outcome.delivered,
-                dropped=outcome.dropped,
-            ))
-            return outcome
-
-        transport.send = traced_send  # type: ignore[method-assign]
+        self._bus = transport.obs
+        self._bus.subscribe(self._on_event)
         return self
 
     def detach(self) -> None:
-        if self._transport is None:
+        if self._bus is None:
             return
-        self._transport.send = self._original_send  # type: ignore
-        self._transport = None
+        self._bus.unsubscribe(self._on_event)
+        self._bus = None
+
+    @property
+    def is_attached(self) -> bool:
+        return self._bus is not None
 
     def __enter__(self) -> "MessageTrace":
         return self
 
-    def __exit__(self, *_exc) -> None:
+    def __exit__(self, *_exc: Any) -> None:
         self.detach()
 
     # ------------------------------------------------------------------
-    def _record(self, event: TraceEvent) -> None:
+    def _on_event(self, event: Any) -> None:
+        if not isinstance(event, MessageSend):
+            return  # only transport sends; protocol events pass by
         if self._mtypes is not None and event.mtype not in self._mtypes:
             return
-        if len(self.events) < self._limit:
-            self.events.append(event)
+        if len(self.events) >= self._limit:
+            self.truncated += 1
+            return
+        self.events.append(event)
 
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
     def unicasts(self, mtype: Optional[str] = None,
-                 delivered_only: bool = True) -> Iterator[TraceEvent]:
+                 delivered_only: bool = True) -> Iterator[MessageSend]:
         for event in self.events:
             if event.kind != "unicast":
                 continue
@@ -130,7 +100,7 @@ class MessageTrace:
                 continue
             yield event
 
-    def floods(self) -> Iterator[TraceEvent]:
+    def floods(self) -> Iterator[MessageSend]:
         return (e for e in self.events if e.kind == "flood")
 
     def message_types(self) -> List[str]:
@@ -141,7 +111,7 @@ class MessageTrace:
                 seen.append(event.mtype)
         return seen
 
-    def between(self, a: int, b: int) -> List[TraceEvent]:
+    def between(self, a: int, b: int) -> List[MessageSend]:
         """Delivered unicasts exchanged (either direction) by a and b."""
         return [
             e for e in self.unicasts()

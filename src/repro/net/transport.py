@@ -34,6 +34,8 @@ from repro.net.message import Message
 from repro.net.node import Node
 from repro.net.stats import Category, MessageStats
 from repro.net.topology import Topology
+from repro.obs.bus import EventBus
+from repro.obs.events import MessageSend
 from repro.perf import PerfRecorder
 from repro.sim.engine import Simulator
 
@@ -47,6 +49,14 @@ class Scope(enum.Enum):
     UNICAST = "unicast"        # shortest path to one destination
     NEIGHBORS = "neighbors"    # single transmission, 1-hop receivers
     FLOOD = "flood"            # whole component (or max_hops ring)
+
+
+#: Scope -> the event/trace vocabulary ("broadcast", not "neighbors").
+_KIND_BY_SCOPE = {
+    Scope.UNICAST: "unicast",
+    Scope.NEIGHBORS: "broadcast",
+    Scope.FLOOD: "flood",
+}
 
 
 @dataclasses.dataclass(frozen=True)
@@ -146,6 +156,11 @@ class Transport:
             ``None`` the transport is perfectly reliable within range.
         perf: shared :class:`~repro.perf.PerfRecorder`; falls back to
             the topology's recorder so counters land in one place.
+        obs: the run's :class:`~repro.obs.bus.EventBus`.  Every send
+            emits a :class:`~repro.obs.events.MessageSend` event when
+            the bus has subscribers; with none the bus is falsy and the
+            event is never constructed.  A fresh (silent) bus is created
+            when not supplied.
     """
 
     def __init__(
@@ -156,6 +171,7 @@ class Transport:
         per_hop_delay: float = 0.01,
         faults: Optional["FaultModel"] = None,
         perf: Optional[PerfRecorder] = None,
+        obs: Optional[EventBus] = None,
     ) -> None:
         self.sim = sim
         self.topology = topology
@@ -163,6 +179,7 @@ class Transport:
         self.per_hop_delay = per_hop_delay
         self.faults = faults
         self.perf = perf if perf is not None else topology.perf
+        self.obs = obs if obs is not None else EventBus()
 
     # ------------------------------------------------------------------
     def _deliver(self, dst: Node, msg: Message) -> None:
@@ -211,12 +228,30 @@ class Transport:
             if scope is Scope.UNICAST:
                 if dst is None:
                     raise ValueError("scope=UNICAST requires a destination")
-                return self._send_unicast(src, dst, msg, category)
-            if dst is not None:
+                outcome = self._send_unicast(src, dst, msg, category)
+            elif dst is not None:
                 raise ValueError(f"scope={scope.value} takes no destination")
-            if scope is Scope.NEIGHBORS:
-                return self._send_neighbors(src, msg, category)
-            return self._send_flood(src, msg, category, max_hops, accept)
+            elif scope is Scope.NEIGHBORS:
+                outcome = self._send_neighbors(src, msg, category)
+            else:
+                outcome = self._send_flood(src, msg, category, max_hops,
+                                           accept)
+        obs = self.obs
+        if obs:
+            obs.emit(MessageSend(
+                time=self.sim.now,
+                node=src.node_id,
+                corr=msg.corr,
+                mtype=msg.mtype,
+                kind=_KIND_BY_SCOPE[scope],
+                dst=dst.node_id if dst is not None else None,
+                hops=(outcome.hops if scope is Scope.UNICAST
+                      else outcome.cost_hops),
+                category=category.value,
+                delivered=outcome.delivered,
+                dropped=outcome.dropped,
+            ))
+        return outcome
 
     # ------------------------------------------------------------------
     def _send_unicast(self, src: Node, dst: Node, msg: Message,
@@ -370,4 +405,5 @@ def node_msg(msg: Message) -> Message:
         network_id=msg.network_id,
         hops=msg.hops,
         sent_at=msg.sent_at,
+        corr=msg.corr,
     )

@@ -1,0 +1,46 @@
+"""Structured observability: event bus, typed events, spans, tracing.
+
+The protocol layers publish frozen typed events onto a per-run
+:class:`~repro.obs.bus.EventBus` (``ctx.obs``).  With no subscribers the
+bus is falsy and emission sites skip event construction entirely —
+tracing costs nothing unless something listens.  A deterministic
+correlation id threads each configuration transaction through
+``Message.corr``, so a recorded stream reconstructs every allocation as
+a span (REQ → votes → write-back) with per-phase sim-time latency.
+
+See docs/ARCHITECTURE.md ("Observability layer") and ``repro trace``.
+"""
+
+from repro.obs.bus import EventBus
+from repro.obs.record import (
+    TraceRecorder,
+    events_from_jsonl,
+    events_to_jsonl,
+    filter_events,
+    set_trace_export,
+    trace_export_path,
+)
+from repro.obs.spans import (
+    BUCKET_EDGES,
+    Span,
+    build_spans,
+    merge_histograms,
+    span_histograms,
+    span_outcomes,
+)
+
+__all__ = [
+    "EventBus",
+    "TraceRecorder",
+    "events_to_jsonl",
+    "events_from_jsonl",
+    "filter_events",
+    "set_trace_export",
+    "trace_export_path",
+    "BUCKET_EDGES",
+    "Span",
+    "build_spans",
+    "span_histograms",
+    "merge_histograms",
+    "span_outcomes",
+]

@@ -1,0 +1,72 @@
+"""Text rendering of event streams and span trees (``repro trace``).
+
+Pure formatting: everything here is a deterministic function of the
+recorded events, so rendered output is as reproducible as the stream
+itself.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, List
+
+from repro.obs import events as ev
+from repro.obs.spans import Span, span_outcomes
+
+
+def format_event(event: Any) -> str:
+    """One timeline line for any event type."""
+    if isinstance(event, ev.MessageSend):
+        return str(event)
+    detail = " ".join(
+        f"{field.name}={getattr(event, field.name)}"
+        for field in dataclasses.fields(event)
+        if field.name not in ("time", "node", "corr")
+    )
+    corr = f" corr={event.corr}" if event.corr else ""
+    return (f"t={event.time:8.2f} [{event.node:>4}] "
+            f"{event.etype:<16}{corr} {detail}").rstrip()
+
+
+def render_timeline(events: List[Any]) -> str:
+    """The flat, time-ordered event timeline."""
+    lines = [format_event(event) for event in events]
+    lines.append(f"({len(events)} events)")
+    return "\n".join(lines)
+
+
+def render_span(span: Span) -> str:
+    """One span as an indented tree of its events."""
+    address = span.address if span.address is not None else "?"
+    allocator = span.allocator if span.allocator is not None else "?"
+    requester = span.requester if span.requester is not None else "?"
+    phases = " ".join(
+        f"{phase}={span.phases[phase]:.3f}s"
+        for phase in ("request", "vote", "write", "total")
+        if phase in span.phases
+    )
+    header = (f"span corr={span.corr} kind={span.kind or '?'} "
+              f"addr={address} requester={requester} "
+              f"allocator={allocator} votes={span.votes} "
+              f"outcome={span.outcome}")
+    if phases:
+        header += f" [{phases}]"
+    lines = [header]
+    for index, event in enumerate(span.events):
+        branch = "└─" if index == len(span.events) - 1 else "├─"
+        lines.append(f"  {branch} {format_event(event)}")
+    return "\n".join(lines)
+
+
+def render_spans(spans: List[Span]) -> str:
+    """Every span tree plus an outcome summary."""
+    lines = [render_span(span) for span in spans]
+    lines.append(render_summary(spans))
+    return "\n".join(lines)
+
+
+def render_summary(spans: List[Span]) -> str:
+    """One-line outcome tally, e.g. ``spans: 12 (completed=10 ...)``."""
+    outcomes: Dict[str, int] = span_outcomes(spans)
+    tally = " ".join(f"{k}={v}" for k, v in outcomes.items())
+    return f"spans: {len(spans)}" + (f" ({tally})" if tally else "")

@@ -128,3 +128,85 @@ def test_figure_accepts_workers_and_cache(capsys, tmp_path):
         assert list(tmp_path.glob("*.json"))  # runs were cached
     finally:
         set_default_executor(None)
+
+
+def test_trace_renders_span_trees(capsys):
+    code = main(["trace", "--nodes", "15", "--seed", "1", "--settle", "10"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "span corr=1" in out
+    assert "outcome=completed" in out
+    assert "spans:" in out  # the trailing summary line
+
+
+def test_trace_format_and_filter_flags(capsys):
+    base = ["trace", "--nodes", "15", "--seed", "1", "--settle", "10"]
+    assert main(base + ["--format", "summary"]) == 0
+    summary = capsys.readouterr().out
+    assert summary.startswith("spans:")
+
+    assert main(base + ["--format", "timeline", "--etype",
+                        "vote.decide"]) == 0
+    timeline = capsys.readouterr().out
+    lines = [l for l in timeline.splitlines() if l and "events)" not in l]
+    assert lines and all("vote.decide" in l for l in lines)
+
+
+def test_trace_jsonl_out_and_reload(capsys, tmp_path):
+    out_file = tmp_path / "trace.jsonl"
+    assert main(["trace", "--nodes", "15", "--seed", "1", "--settle", "10",
+                 "--format", "jsonl", "--out", str(out_file)]) == 0
+    capsys.readouterr()
+    # The exported JSONL renders identically when loaded back in.
+    assert main(["trace", "--in", str(out_file), "--format",
+                 "summary"]) == 0
+    reloaded = capsys.readouterr().out
+    assert main(["trace", "--nodes", "15", "--seed", "1", "--settle", "10",
+                 "--format", "summary"]) == 0
+    assert capsys.readouterr().out == reloaded
+
+
+def test_run_with_trace_reports_span_outcomes(capsys):
+    from repro.experiments.builder import ScenarioBuilder
+
+    code = main(["run", "--nodes", "15", "--settle", "10", "--trace"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "spans: completed" in out
+    # main() must not leak the --trace default into library callers.
+    assert ScenarioBuilder.default_trace() is False
+
+
+def test_sweep_trace_out_forces_serial_and_collects_jsonl(
+        capsys, tmp_path):
+    from repro.obs import events_from_jsonl, trace_export_path
+
+    out_file = tmp_path / "sweep.jsonl"
+    code = main(["sweep", "--protocols", "quorum", "--nodes", "12",
+                 "--seeds", "1", "--speed", "0", "--settle", "5",
+                 "--workers", "4", "--trace-out", str(out_file)])
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "forces serial" in captured.err
+    assert "spans:" in captured.out
+    text = out_file.read_text()
+    assert '"run"' in text.splitlines()[0]
+    assert events_from_jsonl(text)
+    assert trace_export_path() is None  # sink reset on exit
+
+
+def test_traced_sweep_cells_cache_separately_from_untraced(
+        capsys, tmp_path):
+    base = ["sweep", "--protocols", "dad", "--nodes", "10",
+            "--seeds", "1", "--speed", "0", "--settle", "5",
+            "--workers", "1", "--cache", str(tmp_path)]
+    assert main(base) == 0
+    assert "executed=1" in capsys.readouterr().out
+
+    # Tracing changes the cell key (results carry span aggregates)...
+    assert main(base + ["--trace"]) == 0
+    assert "executed=1" in capsys.readouterr().out
+
+    # ...but untraced reruns still hit the original cache entry.
+    assert main(base) == 0
+    assert "cache_hits=1" in capsys.readouterr().out

@@ -1,0 +1,75 @@
+"""frozen-event rule: immutable obs events, no entropy in repro.obs."""
+
+
+def test_unfrozen_unslotted_event_two_findings(tree):
+    tree.write("src/repro/obs/events.py", """\
+        import dataclasses
+
+        @dataclasses.dataclass
+        class VoteDecided:
+            time: float
+        """)
+    findings = tree.findings(select={"frozen-event"})
+    assert len(findings) == 2
+    assert all(f.rule == "frozen-event" for f in findings)
+
+
+def test_frozen_with_add_slots_decorator_clean(tree):
+    tree.write("src/repro/obs/events.py", """\
+        import dataclasses
+
+        def slotted(cls):
+            return cls
+
+        @slotted
+        @dataclasses.dataclass(frozen=True)
+        class VoteDecided:
+            time: float
+        """)
+    assert tree.findings(select={"frozen-event"}) == []
+
+
+def test_uuid_import_in_obs_flagged(tree):
+    tree.write("src/repro/obs/bus.py", """\
+        import uuid
+
+        def new_correlation():
+            return uuid.uuid4()
+        """)
+    findings = tree.findings(select={"frozen-event"})
+    assert len(findings) == 1
+    assert "uuid" in findings[0].message
+
+
+def test_datetime_and_secrets_imports_flagged(tree):
+    tree.write("src/repro/obs/record.py", """\
+        from datetime import datetime
+        import secrets
+        """)
+    findings = tree.findings(select={"frozen-event"})
+    assert len(findings) == 2
+
+
+def test_uuid_outside_obs_out_of_scope(tree):
+    tree.write("src/repro/experiments/tags.py", """\
+        import uuid
+        """)
+    assert tree.findings(select={"frozen-event"}) == []
+
+
+def test_dataclasses_outside_events_module_not_frozen_checked(tree):
+    tree.write("src/repro/obs/spans.py", """\
+        import dataclasses
+
+        @dataclasses.dataclass
+        class Span:
+            corr: int
+        """)
+    assert tree.findings(select={"frozen-event"}) == []
+
+
+def test_frozen_event_line_suppression(tree):
+    tree.write("src/repro/obs/bus.py", """\
+        import uuid  # repro-lint: disable=frozen-event
+        """)
+    assert tree.findings(select={"frozen-event"}) == []

@@ -89,17 +89,19 @@ def test_mtype_filter():
     assert trace.message_types() == ["KEEP"]
 
 
-def test_detach_restores_transport():
+def test_detach_silences_recording():
     ctx, nodes = make_net()
-    original = ctx.transport.send
+    assert not ctx.transport.obs  # no subscribers: bus stays falsy
     trace = MessageTrace().attach(ctx.transport)
-    assert ctx.transport.send != original
+    assert ctx.transport.obs and trace.is_attached
     trace.detach()
-    assert ctx.transport.send == original
+    assert not ctx.transport.obs and not trace.is_attached
     # Sends after detach are not recorded.
     ctx.transport.send(nodes[0], nodes[1], Message("PING", 0, 1),
                        category=Category.CONFIG)
     assert len(trace) == 0
+    # Detaching twice is harmless.
+    trace.detach()
 
 
 def test_double_attach_rejected():
@@ -129,10 +131,19 @@ def test_context_manager_detaches():
         ctx.transport.send(nodes[0], nodes[1], Message("A", 0, 1),
                            category=Category.CONFIG)
     assert len(trace) == 1
-    assert ctx.transport.send.__name__ != "traced_send"
+    assert not trace.is_attached and not ctx.transport.obs
 
 
-def test_limit_bounds_memory():
+def test_attached_classmethod_context_manager():
+    ctx, nodes = make_net()
+    with MessageTrace.attached(ctx.transport) as trace:
+        ctx.transport.send(nodes[0], nodes[1], Message("A", 0, 1),
+                           category=Category.CONFIG)
+    assert len(trace) == 1
+    assert not trace.is_attached and not ctx.transport.obs
+
+
+def test_limit_bounds_memory_and_counts_truncated():
     ctx, nodes = make_net()
     trace = MessageTrace(limit=2).attach(ctx.transport)
     for _ in range(5):
@@ -140,6 +151,7 @@ def test_limit_bounds_memory():
                            category=Category.CONFIG)
     trace.detach()
     assert len(trace) == 2
+    assert trace.truncated == 3
 
 
 def test_event_str_renders():
