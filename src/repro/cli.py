@@ -194,15 +194,23 @@ def build_parser() -> argparse.ArgumentParser:
 
     bench_p = sub.add_parser(
         "bench",
-        help="run the topology benchmark matrix -> BENCH_topology.json")
+        help="run the topology benchmark matrix -> BENCH_topology.json "
+             "(--scale: the n-scaling curve -> BENCH_scale.json)")
     bench_p.add_argument("--quick", action="store_true",
                          help="small matrix (CI perf-smoke)")
-    bench_p.add_argument("--out", default="BENCH_topology.json")
+    bench_p.add_argument("--scale", action="store_true",
+                         help="run the 1k/10k n-scaling matrix instead "
+                              "(see docs/SCALING.md)")
+    bench_p.add_argument("--out", default=None,
+                         help="output JSON (default: BENCH_topology.json, "
+                              "or BENCH_scale.json with --scale)")
     bench_p.add_argument("--check", action="store_true",
                          help="fail on counter regression vs --baseline")
-    bench_p.add_argument("--baseline",
-                         default="benchmarks/BENCH_topology_baseline.json")
-    bench_p.add_argument("--tolerance", type=float, default=0.25)
+    bench_p.add_argument("--baseline", default=None,
+                         help="baseline JSON (mode-specific default)")
+    bench_p.add_argument("--tolerance", type=float, default=None)
+    bench_p.add_argument("--seed", type=int, default=None,
+                         help="population seed (--scale mode only)")
     bench_p.add_argument("--skip-legacy", action="store_true",
                          help="skip networkx-oracle timings")
 
@@ -423,11 +431,20 @@ def cmd_bench(args: argparse.Namespace) -> int:
     from repro.perf import bench
 
     argv = []
+    if args.scale:
+        argv.append("--scale")
     if args.quick:
         argv.append("--quick")
-    argv += ["--out", args.out,
-             "--baseline", args.baseline,
-             "--tolerance", str(args.tolerance)]
+    # Mode-specific defaults (BENCH_topology.json vs BENCH_scale.json)
+    # live in the perf parsers; only forward what the user actually set.
+    if args.out is not None:
+        argv += ["--out", args.out]
+    if args.baseline is not None:
+        argv += ["--baseline", args.baseline]
+    if args.tolerance is not None:
+        argv += ["--tolerance", str(args.tolerance)]
+    if args.seed is not None:
+        argv += ["--seed", str(args.seed)]
     if args.check:
         argv.append("--check")
     if args.skip_legacy:

@@ -1,51 +1,66 @@
 """Unit-disk connectivity and hop-count queries (spatial-grid engine).
 
 The connectivity graph over alive nodes is maintained natively — no
-graph library on the hot path:
+graph library on the hot path — and, since the scale rework, on
+*struct-of-arrays* state so populations of 10k+ nodes stay tractable:
 
-* **Spatial-grid index.**  Nodes are bucketed into square cells whose
-  side equals the transmission range, so every potential neighbor of a
-  node lies in its own or one of the eight surrounding cells.  Edge
-  construction is ``O(n + edges)`` instead of the dense ``O(n^2)``
-  pairwise-distance matrix the first implementation built.
+* **SoA node store.**  Per-node state (id, position, alive flag,
+  mobility handle) lives in parallel arrays inside
+  :class:`~repro.net.store.NodeStore`, indexed by *slot*.  Slots are
+  assigned in insertion order and compaction preserves relative order,
+  so slot comparison IS rank comparison — adjacency lists are kept in
+  the population's insertion order by sorting plain ints.  Position
+  refreshes skip nodes whose mobility is provably static, so a
+  mostly-stationary network pays array reads, not ``position()``
+  calls, per refresh (``graph_positions_recomputed`` counter).
 
-* **Flat adjacency lists.**  Adjacency is stored per node as a list of
-  neighbor ids ordered by *rank* (the node's position in the insertion
-  order of the population).  This reproduces — bit for bit — the
-  adjacency iteration order of the original networkx graph, which was
-  built by inserting edges in row-major index order; every downstream
-  iteration order (flood receiver tuples, delivery scheduling, merge
-  scans) is therefore unchanged.
+* **Sharded spatial grid.**  Nodes are bucketed into square cells whose
+  side equals the transmission range (every potential neighbor lies in
+  the 3x3 cell block), and cells are grouped into shards with per-shard
+  dirty tracking (:class:`~repro.net.grid.ShardedGrid`).  Edge
+  construction is ``O(n + edges)``, incremental rebuilds provably touch
+  only the shards where something moved (``graph_shards_touched`` vs
+  the grid's ``shard_count``), and empty regions drop their bookkeeping
+  instead of leaking across long mobility runs.
 
-* **Bounded, memoized BFS.**  Hop queries run a deque-free, level-list
-  BFS that yields nodes in exactly the order
-  ``networkx.single_source_shortest_path_length`` produced.  Callers
-  that only need a ``k``-hop neighborhood (QDSet discovery: 3, HELLO
-  scans: 2, reclamation floods: ``reclamation_radius``) pass
+* **Bounded, memoized, batched BFS.**  Hop queries run a level-list BFS
+  over slot-indexed adjacency with a reusable epoch-stamped visited
+  array — no per-query set allocations — and yield nodes in exactly the
+  order ``networkx.single_source_shortest_path_length`` produced.
+  Callers that only need a ``k``-hop neighborhood (QDSet discovery: 3,
+  HELLO scans: 2, reclamation floods: ``reclamation_radius``) pass
   ``max_hops`` and the search stops at that level.  Results are
-  memoized per source until the graph changes; a deeper query upgrades
-  the cached entry in place.
+  memoized per source until the graph *changes* (a refresh that finds
+  nothing moved keeps the memo — the graph is identical, so the cached
+  answers are too); a deeper query upgrades the cached entry in place.
+  :meth:`warm_bfs` batches many sources through one graph-currency
+  check and the shared scratch arrays.
 
 * **Incremental invalidation.**  ``add_node`` / ``remove_node`` no
   longer force a full rebuild: mutations are applied lazily, and when
   the graph is refreshed only the *dirty* set — added, removed and
-  moved nodes — has its cells and edges recomputed.  A full rebuild
-  happens only when the dirty set is large, on explicit
-  :meth:`invalidate` (alive-flag changes), or on first use.  Both
-  refresh paths produce identical graphs: the delta path is an exact
-  optimization, not an approximation.
+  moved slots — has its cells and edges recomputed.  A full rebuild
+  happens only when the dirty set is large, when store compaction
+  renumbered slots, on explicit :meth:`invalidate` (alive-flag
+  changes), or on first use.  Both refresh paths produce identical
+  graphs: the delta path is an exact optimization, not an
+  approximation.
 
 The engine is validated against a networkx oracle
 (:mod:`repro.net.oracle`, a test/bench-only dependency) for edge sets,
-hop counts, iteration order and connected components.
+hop counts, iteration order and connected components — see
+``tests/net/test_topology_oracle.py`` and
+``tests/net/test_store_oracle.py``.
 """
 
 from __future__ import annotations
 
-import math
+from bisect import insort
 from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
+from repro.net.grid import ShardedGrid
 from repro.net.node import Node
+from repro.net.store import NodeStore
 from repro.perf import PerfRecorder
 from repro.sim.engine import Simulator
 
@@ -85,37 +100,39 @@ class Topology:
         self.transmission_range = transmission_range
         self.refresh_interval = refresh_interval
         self.perf = perf if perf is not None else PerfRecorder()
-        self._nodes: Dict[int, Node] = {}
+        self._nodes = NodeStore()
         # --- graph snapshot state --------------------------------------
         self._have_graph = False
         self._graph_time: float = -1.0
         self._graph_version: int = 0
-        self._rank: Dict[int, int] = {}          # id -> insertion rank
-        self._pos: Dict[int, Tuple[float, float]] = {}
-        self._adj: Dict[int, List[int]] = {}     # id -> ids, rank order
-        self._grid: Dict[Tuple[int, int], List[int]] = {}
-        self._cell_size: float = transmission_range
+        self._graph_layout: int = -1     # store.layout_version at build
+        self._graph_slots: List[int] = []
+        self._in_graph = bytearray()     # slot -> 1 if in current graph
+        self._adj: List[List[int]] = []  # slot -> neighbor slots, ascending
+        self._grid = ShardedGrid(transmission_range)
         # --- invalidation flags ----------------------------------------
         self._force_full = True      # invalidate() / first build
         self._members_dirty = False  # add_node/remove_node since build
         # --- BFS memo: id -> (depth_computed, complete, lengths) -------
         self._bfs_cache: Dict[int, Tuple[float, bool, Dict[int, int]]] = {}
+        # --- BFS scratch: slot -> visit epoch (never reset, only bumped)
+        self._bfs_mark: List[int] = []
+        self._bfs_epoch = 0
 
     # ------------------------------------------------------------------
     # Population management
     # ------------------------------------------------------------------
     def add_node(self, node: Node) -> None:
-        if node.node_id in self._nodes:
-            raise ValueError(f"duplicate node id {node.node_id}")
-        self._nodes[node.node_id] = node
+        self._nodes.add(node)  # raises on duplicate id
         self._members_dirty = True
         self._bfs_cache.clear()
 
     def remove_node(self, node: Node) -> None:
         """Evict a node entirely (graceful leave, vanish, permanent
-        crash).  Unlike a mere ``alive = False``, eviction frees the
-        node's entry so long churn scenarios do not degrade rebuilds."""
-        if self._nodes.pop(node.node_id, None) is not None:
+        crash).  Unlike a mere ``alive = False``, eviction tombstones
+        the node's slot — and store compaction eventually reclaims it —
+        so long churn scenarios do not degrade rebuilds."""
+        if self._nodes.evict(node.node_id):
             self._members_dirty = True
             self._bfs_cache.clear()
 
@@ -124,7 +141,12 @@ class Topology:
 
     def nodes(self) -> List[Node]:
         """All alive nodes currently in the area."""
-        return [n for n in self._nodes.values() if n.alive]
+        return self._nodes.alive_nodes()
+
+    @property
+    def store(self) -> NodeStore:
+        """The struct-of-arrays population state (read-mostly surface)."""
+        return self._nodes
 
     def invalidate(self) -> None:
         """Force a full graph rebuild on the next query.
@@ -140,48 +162,15 @@ class Topology:
     # ------------------------------------------------------------------
     # Graph maintenance
     # ------------------------------------------------------------------
-    def _cell_of(self, x: float, y: float) -> Tuple[int, int]:
-        size = self._cell_size
-        return (int(math.floor(x / size)), int(math.floor(y / size)))
-
-    def _grid_insert(self, node_id: int, cell: Tuple[int, int]) -> None:
-        self._grid.setdefault(cell, []).append(node_id)
-
-    def _grid_remove(self, node_id: int, cell: Tuple[int, int]) -> None:
-        bucket = self._grid.get(cell)
-        if bucket is not None:
-            try:
-                bucket.remove(node_id)
-            except ValueError:
-                pass
-            if not bucket:
-                del self._grid[cell]
-
-    def _neighbor_candidates(self, cell: Tuple[int, int]) -> List[int]:
-        """Every node id in the 3x3 cell block around ``cell``."""
-        cx, cy = cell
-        grid = self._grid
-        out: List[int] = []
-        for dx in (-1, 0, 1):
-            for dy in (-1, 0, 1):
-                bucket = grid.get((cx + dx, cy + dy))
-                if bucket:
-                    out.extend(bucket)
-        return out
-
-    def _insort_by_rank(self, lst: List[int], node_id: int) -> None:
-        """Insert ``node_id`` into ``lst`` keeping rank order (3.9-safe
-        manual bisect: :func:`bisect.insort` grew ``key=`` in 3.10)."""
-        rank = self._rank
-        target = rank[node_id]
-        lo, hi = 0, len(lst)
-        while lo < hi:
-            mid = (lo + hi) // 2
-            if rank[lst[mid]] < target:
-                lo = mid + 1
-            else:
-                hi = mid
-        lst.insert(lo, node_id)
+    def _ensure_capacity(self) -> None:
+        """Grow slot-indexed scratch to the store's slot space."""
+        cap = self._nodes.capacity
+        grow = cap - len(self._in_graph)
+        if grow > 0:
+            self._in_graph.extend(b"\x00" * grow)
+            self._adj.extend([] for _ in range(grow))
+        if cap > len(self._bfs_mark):
+            self._bfs_mark.extend([0] * (cap - len(self._bfs_mark)))
 
     def _ensure_graph(self) -> None:
         """Bring the graph snapshot up to date with ``sim.now``.
@@ -201,174 +190,176 @@ class Topology:
             return
         self.perf.incr("graph_rebuilds")
         with self.perf.timer("topology.rebuild"):
-            if self._have_graph and not self._force_full:
-                if self._try_delta_rebuild(now):
-                    self._finish_rebuild(now)
+            alive, moved = self._nodes.refresh_positions(now)
+            self.perf.incr("graph_positions_recomputed",
+                           self._nodes.last_refresh_recomputed)
+            if (
+                self._have_graph
+                and not self._force_full
+                and self._nodes.layout_version == self._graph_layout
+            ):
+                changed = self._try_delta_rebuild(alive, moved)
+                if changed is not None:
+                    self._finish_rebuild(now, changed)
                     return
-            self._full_rebuild(now)
-            self._finish_rebuild(now)
+            self._full_rebuild(alive)
+            self._finish_rebuild(now, True)
 
-    def _finish_rebuild(self, now: float) -> None:
+    def _finish_rebuild(self, now: float, changed: bool) -> None:
         self._have_graph = True
         self._force_full = False
         self._members_dirty = False
         self._graph_time = now
         self._graph_version += 1
-        self._bfs_cache.clear()
+        self._graph_layout = self._nodes.layout_version
+        if changed:
+            # A refresh that moved nothing leaves the graph — and
+            # therefore every memoized BFS answer — bit-identical, so
+            # the memo survives; any actual change drops it wholesale.
+            self._bfs_cache.clear()
 
-    def _full_rebuild(self, now: float) -> None:
+    def _full_rebuild(self, alive: List[int]) -> None:
         self.perf.incr("graph_full_rebuilds")
-        alive = self.nodes()
-        self._rank = {n.node_id: i for i, n in enumerate(alive)}
-        self._pos = {n.node_id: n.position(now).as_tuple() for n in alive}
-        grid: Dict[Tuple[int, int], List[int]] = {}
-        self._grid = grid
-        adj = {n.node_id: [] for n in alive}
+        self._ensure_capacity()
+        store = self._nodes
+        cap = store.capacity
+        xs, ys = store.xs, store.ys
+        self._graph_slots = alive
+        in_graph = bytearray(cap)
+        for slot in alive:
+            in_graph[slot] = 1
+        self._in_graph = in_graph
+        adj: List[List[int]] = [[] for _ in range(cap)]
         self._adj = adj
-        pos = self._pos
-        size = self._cell_size
-        floor = math.floor
-        for n in alive:  # rank order => cell buckets are rank-ordered
-            x, y = pos[n.node_id]
-            cell = (int(floor(x / size)), int(floor(y / size)))
-            bucket = grid.get(cell)
-            if bucket is None:
-                grid[cell] = [n.node_id]
-            else:
-                bucket.append(n.node_id)
-        rank = self._rank
+        grid = self._grid
+        # Slots ascending => cell buckets are rank-ordered.
+        grid.rebuild((slot, xs[slot], ys[slot]) for slot in alive)
+        self.perf.incr("graph_shards_touched", grid.shard_count)
         limit = self.transmission_range ** 2
         edges = 0
         # Each unordered cell pair is visited exactly once: within the
         # cell itself plus four "forward" neighbor cells, so every edge
         # is tested once (the dense path tested each pair twice).
-        for (cx, cy), bucket in grid.items():
+        for (cx, cy), bucket in grid.cells.items():
             blen = len(bucket)
             for ii in range(blen):
                 u = bucket[ii]
-                ux, uy = pos[u]
+                ux = xs[u]
+                uy = ys[u]
                 for jj in range(ii + 1, blen):
                     v = bucket[jj]
-                    vx, vy = pos[v]
-                    dx = ux - vx
-                    dy = uy - vy
+                    dx = ux - xs[v]
+                    dy = uy - ys[v]
                     if dx * dx + dy * dy <= limit:
                         adj[u].append(v)
                         adj[v].append(u)
                         edges += 1
             for delta in ((1, 0), (1, 1), (0, 1), (-1, 1)):
-                other = grid.get((cx + delta[0], cy + delta[1]))
+                other = grid.cells.get((cx + delta[0], cy + delta[1]))
                 if not other:
                     continue
                 for u in bucket:
-                    ux, uy = pos[u]
+                    ux = xs[u]
+                    uy = ys[u]
                     for v in other:
-                        vx, vy = pos[v]
-                        dx = ux - vx
-                        dy = uy - vy
+                        dx = ux - xs[v]
+                        dy = uy - ys[v]
                         if dx * dx + dy * dy <= limit:
                             adj[u].append(v)
                             adj[v].append(u)
                             edges += 1
         # Edges were discovered in cell order; adjacency must be in
-        # rank (population-insertion) order to reproduce the original
+        # slot (population-insertion) order to reproduce the original
         # networkx iteration order bit for bit.
-        get_rank = rank.__getitem__
-        for neighbors in adj.values():
-            neighbors.sort(key=get_rank)
+        for slot in alive:
+            adj[slot].sort()
         self.perf.incr("graph_edges_built", edges)
 
-    def _try_delta_rebuild(self, now: float) -> bool:
-        """Refresh by recomputing only dirty nodes; False => do a full.
+    def _try_delta_rebuild(
+        self,
+        alive: List[int],
+        moved: List[Tuple[int, float, float]],
+    ) -> Optional[bool]:
+        """Refresh by recomputing only dirty slots.
+
+        Returns ``None`` when the dirty set is too large (caller falls
+        back to a full rebuild), ``False`` when nothing changed at all
+        (the graph — and the BFS memo — stay valid verbatim), ``True``
+        after an in-place patch.
 
         Exactness argument: membership is re-derived the same way a
-        full rebuild derives it, unchanged nodes keep bit-identical
-        positions (tuple equality) so their mutual edges cannot differ,
-        and every edge touching a dirty node is recomputed with the
-        same arithmetic the full path uses.  Rank *values* of surviving
-        nodes go stale after removals but their relative order — the
-        only thing adjacency ordering depends on — matches insertion
-        order exactly as a fresh enumeration would.
+        full rebuild derives it, unchanged slots keep bit-identical
+        cached positions so their mutual edges cannot differ, and every
+        edge touching a dirty slot is recomputed with the same
+        arithmetic the full path uses.  Slot numbers never go stale
+        (compaction forces the full path), so ascending-slot adjacency
+        is exactly the insertion order a fresh enumeration would give.
         """
-        target = self.nodes()
-        rank = self._rank
-        # New nodes must come after every ranked survivor (they are
-        # appended to the population dict); a ranked node following an
-        # unranked one would mean insertion order and rank order
-        # disagree — bail out to the full path.
-        seen_unranked = False
-        added: List[int] = []
-        target_ids: Set[int] = set()
-        for n in target:
-            target_ids.add(n.node_id)
-            if n.node_id in rank:
-                if seen_unranked:
-                    return False
-            else:
-                seen_unranked = True
-                added.append(n.node_id)
-        removed = [nid for nid in self._adj if nid not in target_ids]
-        pos = self._pos
-        new_pos: Dict[int, Tuple[float, float]] = {
-            n.node_id: n.position(now).as_tuple() for n in target
-        }
-        moved = [
-            nid for nid, p in new_pos.items()
-            if nid in rank and pos.get(nid) != p
+        self._ensure_capacity()
+        store = self._nodes
+        in_graph = self._in_graph
+        nodes = store.nodes
+        added = [slot for slot in alive if not in_graph[slot]]
+        removed = [
+            slot for slot in self._graph_slots
+            if (node := nodes[slot]) is None or not node.alive
         ]
+        moved = [entry for entry in moved if in_graph[entry[0]]]
         dirty_count = len(added) + len(removed) + len(moved)
-        if dirty_count > DELTA_REBUILD_MAX_DIRTY_FRACTION * max(1, len(target)):
-            return False
+        if dirty_count > DELTA_REBUILD_MAX_DIRTY_FRACTION * max(1, len(alive)):
+            return None
         if dirty_count == 0:
-            return True  # refresh-interval expiry, nobody moved
+            return False  # refresh-interval expiry, nobody moved
         self.perf.incr("graph_delta_rebuilds")
         self.perf.incr("graph_delta_dirty_nodes", dirty_count)
         adj = self._adj
-        gone: Set[int] = set(removed) | set(moved)
-        # 1) detach every removed/moved node from the old structure.
-        for nid in removed + moved:
-            x, y = pos[nid]
-            self._grid_remove(nid, self._cell_of(x, y))
-            for nb in adj.pop(nid, ()):
+        grid = self._grid
+        xs, ys = store.xs, store.ys
+        moved_slots = [entry[0] for entry in moved]
+        gone: Set[int] = set(removed)
+        gone.update(moved_slots)
+        # 1) detach every removed/moved slot from the old structure
+        #    (moved slots part from their *pre-refresh* cell).
+        for slot, old_x, old_y in moved:
+            grid.remove(slot, grid.cell_of(old_x, old_y))
+        for slot in removed:
+            grid.remove(slot, grid.cell_of(xs[slot], ys[slot]))
+        for slot in removed + moved_slots:
+            for nb in adj[slot]:
                 if nb not in gone:
-                    adj[nb].remove(nid)
-            pos.pop(nid, None)
-            if nid in removed:
-                rank.pop(nid, None)
-        # 2) (re)insert moved + added nodes at their current positions.
-        next_rank = 1 + max(rank.values(), default=-1)
-        for nid in added:
-            rank[nid] = next_rank
-            next_rank += 1
-        dirty = moved + added   # ranks of `added` all exceed `moved`'s?
-        # Not necessarily — sort so pair handling below sees ascending
-        # rank, which the insertion logic relies on.
-        dirty.sort(key=rank.__getitem__)
-        for nid in dirty:
-            p = new_pos[nid]
-            pos[nid] = p
-            adj[nid] = []
-            self._grid_insert(nid, self._cell_of(*p))
-        # 3) recompute edges touching dirty nodes.
+                    adj[nb].remove(slot)
+            adj[slot] = []
+            in_graph[slot] = 0
+        # 2) (re)insert moved + added slots at their current positions.
+        dirty = sorted(moved_slots + added)
+        for slot in dirty:
+            in_graph[slot] = 1
+            adj[slot] = []
+            grid.insert_ranked(slot, grid.cell_of(xs[slot], ys[slot]))
+        # 3) recompute edges touching dirty slots.
         limit = self.transmission_range ** 2
         dirty_set = set(dirty)
         edges = 0
-        for nid in dirty:
-            my_rank = rank[nid]
-            x, y = pos[nid]
-            for u in self._neighbor_candidates(self._cell_of(x, y)):
-                if u == nid:
+        for slot in dirty:
+            x = xs[slot]
+            y = ys[slot]
+            for u in grid.candidates(grid.cell_of(x, y)):
+                if u == slot:
                     continue
-                if u in dirty_set and rank[u] < my_rank:
+                if u < slot and u in dirty_set:
                     continue  # pair already handled from u's side
-                ux, uy = pos[u]
-                dx = x - ux
-                dy = y - uy
+                dx = x - xs[u]
+                dy = y - ys[u]
                 if dx * dx + dy * dy <= limit:
-                    self._insort_by_rank(adj[nid], u)
-                    self._insort_by_rank(adj[u], nid)
+                    insort(adj[slot], u)
+                    insort(adj[u], slot)
                     edges += 1
         self.perf.incr("graph_edges_built", edges)
+        self.perf.incr("graph_shards_touched", grid.dirty_shard_count)
+        grid.clear_dirty()
+        # Membership changed in place; rebuild the ascending slot list.
+        if added or removed:
+            self._graph_slots = alive
         return True
 
     # ------------------------------------------------------------------
@@ -378,27 +369,47 @@ class Topology:
     def graph_version(self) -> int:
         return self._graph_version
 
+    @property
+    def shard_count(self) -> int:
+        """Occupied grid shards in the current snapshot."""
+        self._ensure_graph()
+        return self._grid.shard_count
+
+    def _graph_slot(self, node_id: int) -> Optional[int]:
+        """The node's slot if it is in the current graph, else None."""
+        slot = self._nodes.slot_of.get(node_id)
+        if slot is None or slot >= len(self._in_graph) or not self._in_graph[slot]:
+            return None
+        return slot
+
     def node_ids(self) -> List[int]:
         """Alive node ids in graph (insertion) order."""
         self._ensure_graph()
-        return list(self._adj)
+        ids = self._nodes.ids
+        return [ids[slot] for slot in self._graph_slots]
 
     def has_edge(self, a: int, b: int) -> bool:
         self._ensure_graph()
-        return b in self._adj.get(a, ())
+        slot_a = self._graph_slot(a)
+        slot_b = self._graph_slot(b)
+        if slot_a is None or slot_b is None:
+            return False
+        return slot_b in self._adj[slot_a]
 
     def edges(self) -> Iterator[Tuple[int, int]]:
         """Every edge once, as ``(lower-rank id, higher-rank id)``."""
         self._ensure_graph()
-        rank = self._rank
-        for nid, nbrs in self._adj.items():
-            for u in nbrs:
-                if rank[u] > rank[nid]:
-                    yield (nid, u)
+        ids = self._nodes.ids
+        adj = self._adj
+        for slot in self._graph_slots:
+            for u in adj[slot]:
+                if u > slot:
+                    yield (ids[slot], ids[u])
 
     def edge_count(self) -> int:
         self._ensure_graph()
-        return sum(len(nbrs) for nbrs in self._adj.values()) // 2
+        adj = self._adj
+        return sum(len(adj[slot]) for slot in self._graph_slots) // 2
 
     # ------------------------------------------------------------------
     # Hop-count queries
@@ -430,12 +441,18 @@ class Topology:
 
     def _run_bfs(self, source: int,
                  cutoff: float) -> Tuple[Dict[int, int], bool, int]:
-        adj = self._adj
-        if source not in adj:
+        slot = self._graph_slot(source)
+        if slot is None:
             return {}, True, 0
-        n = len(adj)
+        n = len(self._graph_slots)
+        ids = self._nodes.ids
+        adj = self._adj
+        mark = self._bfs_mark
+        self._bfs_epoch += 1
+        epoch = self._bfs_epoch
         lengths: Dict[int, int] = {source: 0}
-        nextlevel: List[int] = [source]
+        mark[slot] = epoch
+        nextlevel: List[int] = [slot]
         level = 0
         expanded = 0
         while nextlevel and cutoff > level:
@@ -445,12 +462,31 @@ class Topology:
             for v in thislevel:
                 expanded += 1
                 for w in adj[v]:
-                    if w not in lengths:
-                        lengths[w] = level
+                    if mark[w] != epoch:
+                        mark[w] = epoch
+                        lengths[ids[w]] = level
                         nextlevel.append(w)
                 if len(lengths) == n:
                     return lengths, True, expanded
         return lengths, not nextlevel, expanded
+
+    def warm_bfs(self, sources: Iterable[int],
+                 max_hops: Optional[int] = None) -> int:
+        """Batch hop queries for many ``sources`` into the memo.
+
+        One graph-currency check covers the whole batch, and every
+        search reuses the shared epoch-stamped scratch arrays; already
+        memoized sources cost a dict probe.  Results are identical to
+        issuing the per-source queries one by one — this is the warm
+        path sweeps and benches use before fanning out per-node reads.
+        Returns the number of sources processed.
+        """
+        self._ensure_graph()
+        count = 0
+        for source in sources:
+            self._bfs_from(source, max_hops=max_hops)
+            count += 1
+        return count
 
     def hops(self, a: int, b: int,
              max_hops: Optional[int] = None) -> Optional[int]:
@@ -470,7 +506,11 @@ class Topology:
     def neighbors(self, node_id: int) -> List[int]:
         """One-hop neighbor ids."""
         self._ensure_graph()
-        return list(self._adj.get(node_id, ()))
+        slot = self._graph_slot(node_id)
+        if slot is None:
+            return []
+        ids = self._nodes.ids
+        return [ids[u] for u in self._adj[slot]]
 
     def within_hops(self, node_id: int, k: int) -> List[Tuple[int, int]]:
         """``(other_id, hops)`` for every node within ``k`` hops (excl. self)."""
@@ -500,23 +540,27 @@ class Topology:
     def components(self) -> List[Set[int]]:
         """Connected components of the current graph (sets of node ids)."""
         self._ensure_graph()
+        ids = self._nodes.ids
         adj = self._adj
-        seen: Set[int] = set()
+        mark = self._bfs_mark
+        self._bfs_epoch += 1
+        epoch = self._bfs_epoch
         out: List[Set[int]] = []
-        for nid in adj:
-            if nid in seen:
+        for slot in self._graph_slots:
+            if mark[slot] == epoch:
                 continue
-            component = {nid}
-            frontier = [nid]
+            mark[slot] = epoch
+            component = {ids[slot]}
+            frontier = [slot]
             while frontier:
                 nxt: List[int] = []
                 for v in frontier:
                     for w in adj[v]:
-                        if w not in component:
-                            component.add(w)
+                        if mark[w] != epoch:
+                            mark[w] = epoch
+                            component.add(ids[w])
                             nxt.append(w)
                 frontier = nxt
-            seen |= component
             out.append(component)
         return out
 

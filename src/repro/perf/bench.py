@@ -182,8 +182,22 @@ def check_regression(payload: Dict[str, Any], baseline: Dict[str, Any],
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point (``repro bench``)."""
+    """CLI entry point (``repro bench``).
+
+    ``--scale`` switches to the n-scaling matrix (1k/10k populations,
+    no oracle), handled by :mod:`repro.perf.scale`; the remaining flags
+    are forwarded and take that mode's defaults (notably ``--out`` /
+    ``--baseline`` default to the repo-root ``BENCH_scale.json``).
+    """
     import argparse
+    import sys
+
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if "--scale" in argv:
+        from repro.perf import scale
+
+        argv.remove("--scale")
+        return scale.main(argv)
 
     parser = argparse.ArgumentParser(
         prog="repro bench",

@@ -1,0 +1,295 @@
+"""The ``repro bench --scale`` n-scaling curve (perf trajectory entry #2).
+
+Where :mod:`repro.perf.bench` measures the engine against its networkx
+oracle at a few hundred nodes, this module measures how the engine
+itself scales: a constant-density population is grown to n=1k and
+n=10k (the oracle is far too slow to ride along) and a fixed workload
+of graph refreshes, bounded hop queries, component floods and timer
+churn is replayed at every size.  The output answers the question the
+paper never could — what does a quorum-style topology service cost two
+orders of magnitude past the evaluation sizes?
+
+Design choices that keep the curve honest:
+
+* **Constant density, not constant area.**  The area grows with n
+  (side = sqrt(n / :data:`DENSITY`)) so the average node degree stays
+  fixed (~28 at a 150 m range).  Constant area would densify the graph
+  quadratically and measure edge count, not engine scaling.
+
+* **Mostly-static population.**  A :data:`MOBILE_FRACTION` slice moves
+  by random waypoint at 20 m/s; the rest are stationary.  This is the
+  regime the SoA static-skip and sharded-grid delta rebuilds target,
+  and it mirrors the paper's settled-network steady state.  The
+  ``graph_positions_recomputed`` / ``graph_shards_touched`` counters
+  in the payload show both optimizations doing their work.
+
+* **Deterministic gate, informational wall clock.**  Every ``wall``
+  number varies per machine and is never compared.  The regression
+  gate (:func:`check_scale_regression`) compares the perf *counters*
+  (bit-identical everywhere) within a tolerance, and the structural
+  facts — edge count, component count, occupied shards — exactly: any
+  drift there means the engine no longer builds the same graph, which
+  is a correctness failure, not a perf regression.
+
+The committed baseline lives at the repo root as ``BENCH_scale.json``
+(schema in docs/BENCHMARKS.md, methodology in docs/SCALING.md); CI's
+perf-smoke job gates the n=1k cell on every push.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.geometry import Point, Region
+from repro.mobility.base import Stationary
+from repro.mobility.waypoint import RandomWaypoint
+from repro.net.node import Node
+from repro.net.topology import Topology
+from repro.perf import PerfRecorder
+from repro.sim.engine import Simulator
+from repro.sim.rng import generator_from_seed
+
+SCALE_SCHEMA_VERSION = 1
+DEFAULT_SCALE_BASELINE = Path("BENCH_scale.json")
+DEFAULT_SCALE_TOLERANCE = 0.25
+
+#: The committed curve measures these sizes; CI's quick smoke stops at 1k.
+SCALE_SIZES_FULL = (1000, 10000)
+SCALE_SIZES_QUICK = (1000,)
+
+#: Nodes per square meter.  4e-4 with a 150 m transmission range gives an
+#: average degree of about ``density * pi * tr^2`` ~ 28 neighbors — dense
+#: enough to stay mostly connected, sparse enough to be a realistic MANET.
+DENSITY = 4e-4
+TRANSMISSION_RANGE = 150.0
+
+#: Fraction of the population that moves (random waypoint, 20 m/s); the
+#: rest is stationary.  One in a hundred keeps per-refresh dirt well under
+#: the delta-rebuild threshold, which is the steady state being measured.
+MOBILE_FRACTION = 0.01
+SPEED_MPS = 20.0
+
+QUERY_HOP_BOUND = 3   # the paper's QDSet scope
+REFRESH_INTERVAL = 0.5
+
+#: Workload per round: bounded 3-hop queries from this many sources,
+#: plus whole-component floods from a handful of them.
+QUERY_SOURCES = 64
+FLOOD_SOURCES = 4
+
+#: Timer-churn load per round: this many schedule+cancel pairs, which is
+#: what pushes the event heap into its compaction regime at scale.
+CHURN_TIMERS = 2000
+
+#: Same round count in both modes — the quick (n=1k only) smoke must be
+#: counter-comparable with the committed full-matrix baseline.
+ROUNDS = 5
+
+
+def _build_population(n: int, seed: int) -> Tuple[List[Node], float]:
+    """A constant-density population; returns (nodes, area side in m)."""
+    side = math.sqrt(n / DENSITY)
+    region = Region(side, side)
+    layout_rng = generator_from_seed(seed)
+    mobile_every = max(1, round(1 / MOBILE_FRACTION))
+    nodes: List[Node] = []
+    for i in range(n):
+        start = Point(layout_rng.uniform(0, side), layout_rng.uniform(0, side))
+        if i % mobile_every == 0:
+            # Each walker gets a private stream keyed by (seed, id) so the
+            # curve is reproducible regardless of query order.
+            walker_rng = generator_from_seed(seed * 1_000_003 + i)
+            mobility: Any = RandomWaypoint(region, start, SPEED_MPS, walker_rng)
+        else:
+            mobility = Stationary(start)
+        nodes.append(Node(i, mobility))
+    return nodes, side
+
+
+def _run_size(n: int, *, seed: int, rounds: int) -> Dict[str, Any]:
+    """Measure one population size; returns the per-size payload cell."""
+    sim = Simulator(seed=seed)
+    perf = PerfRecorder()
+    topo = Topology(sim, transmission_range=TRANSMISSION_RANGE,
+                    refresh_interval=REFRESH_INTERVAL, perf=perf)
+    nodes, side = _build_population(n, seed)
+    for node in nodes:
+        topo.add_node(node)
+    ids = [node.node_id for node in nodes]
+    sources = ids[:: max(1, n // QUERY_SOURCES)][:QUERY_SOURCES]
+    flood_sources = sources[:: max(1, len(sources) // FLOOD_SOURCES)]
+    flood_sources = flood_sources[:FLOOD_SOURCES]
+
+    start = time.perf_counter()
+    topo.neighbors(ids[0])  # forces the initial full build
+    build_s = time.perf_counter() - start
+
+    refresh_s = 0.0
+    query_s = 0.0
+    flood_s = 0.0
+    for round_no in range(rounds):
+        # Advance past the refresh interval so the next query triggers an
+        # incremental (delta) refresh of the moved shards.
+        sim.run(until=sim.now + REFRESH_INTERVAL * 1.01)
+        start = time.perf_counter()
+        topo.neighbors(ids[0])
+        refresh_s += time.perf_counter() - start
+
+        start = time.perf_counter()
+        topo.warm_bfs(sources, max_hops=QUERY_HOP_BOUND)
+        for nid in sources:
+            topo.within_hops(nid, QUERY_HOP_BOUND)
+        query_s += time.perf_counter() - start
+
+        start = time.perf_counter()
+        for nid in flood_sources:
+            topo.reachable(nid, max_hops=None)
+        flood_s += time.perf_counter() - start
+
+        # Timer churn: restart-style schedule+cancel pairs, the pattern
+        # protocol timers produce, to exercise heap compaction at scale.
+        for i in range(CHURN_TIMERS):
+            handle = sim.schedule(100.0 + i, lambda: None)
+            sim.cancel(handle)
+
+    components = topo.components()
+    cell: Dict[str, Any] = {
+        "n": n,
+        "area_side_m": side,
+        "rounds": rounds,
+        "wall": {
+            "build_s": build_s,
+            "refresh_s_mean": refresh_s / rounds,
+            "query_s_mean": query_s / rounds,
+            "flood_s_mean": flood_s / rounds,
+        },
+        "graph": {
+            "edges": topo.edge_count(),
+            "components": len(components),
+            "largest_component": max(len(c) for c in components),
+            "shards": topo.shard_count,
+        },
+        "heap": {
+            "compactions": sim.compactions,
+            "final_size": sim.heap_size,
+            "final_pending": sim.pending_events,
+        },
+        "counters": perf.counters_snapshot(),
+    }
+    return cell
+
+
+def run_scale(quick: bool = False, seed: int = 11) -> Dict[str, Any]:
+    """Run the scale matrix and return the ``BENCH_scale.json`` payload."""
+    sizes = SCALE_SIZES_QUICK if quick else SCALE_SIZES_FULL
+    rounds = ROUNDS
+    return {
+        "schema": SCALE_SCHEMA_VERSION,
+        "quick": quick,
+        "seed": seed,
+        "density_per_m2": DENSITY,
+        "transmission_range_m": TRANSMISSION_RANGE,
+        "mobile_fraction": MOBILE_FRACTION,
+        "sizes": {str(n): _run_size(n, seed=seed, rounds=rounds)
+                  for n in sizes},
+    }
+
+
+def check_scale_regression(
+    payload: Dict[str, Any],
+    baseline: Dict[str, Any],
+    tolerance: float = DEFAULT_SCALE_TOLERANCE,
+) -> List[str]:
+    """Gate a scale run against the committed baseline.
+
+    Only sizes present in *both* payloads are compared (CI's quick run
+    covers n=1k of a 1k/10k baseline).  Structural graph facts must
+    match exactly — same seed, same engine, same graph — while perf
+    counters may grow up to ``tolerance``; dropping below baseline is
+    an improvement, never a failure.  Wall clock is never compared.
+    """
+    failures: List[str] = []
+    for size, base_cell in baseline.get("sizes", {}).items():
+        cell = payload.get("sizes", {}).get(size)
+        if cell is None:
+            continue  # the run measured fewer sizes (quick smoke)
+        if cell.get("rounds") != base_cell.get("rounds"):
+            failures.append(
+                f"n={size}: rounds differ "
+                f"({base_cell.get('rounds')} vs {cell.get('rounds')}); "
+                "counters are not comparable")
+            continue
+        for fact, base_value in base_cell.get("graph", {}).items():
+            value = cell.get("graph", {}).get(fact)
+            if value != base_value:
+                failures.append(
+                    f"n={size}: graph {fact} changed "
+                    f"{base_value} -> {value} (must be bit-identical)")
+        for counter, base_value in base_cell.get("counters", {}).items():
+            value = cell.get("counters", {}).get(counter, 0)
+            if base_value > 0 and value > base_value * (1 + tolerance):
+                failures.append(
+                    f"n={size}: {counter} regressed {base_value} -> {value} "
+                    f"(+{(value / base_value - 1):.0%}, "
+                    f"budget +{tolerance:.0%})")
+    return failures
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point (``repro bench --scale`` delegates here)."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro bench --scale",
+        description="n-scaling curve (1k/10k) -> BENCH_scale.json")
+    parser.add_argument("--quick", action="store_true",
+                        help="n=1k only (CI scale smoke)")
+    parser.add_argument("--out", default=str(DEFAULT_SCALE_BASELINE),
+                        help="output JSON path (default: %(default)s)")
+    parser.add_argument("--check", action="store_true",
+                        help="fail if counters/structure regress vs --baseline")
+    parser.add_argument("--baseline", default=str(DEFAULT_SCALE_BASELINE),
+                        help="baseline JSON for --check (default: %(default)s)")
+    parser.add_argument("--tolerance", type=float,
+                        default=DEFAULT_SCALE_TOLERANCE,
+                        help="allowed counter growth (default: %(default)s)")
+    parser.add_argument("--seed", type=int, default=11,
+                        help="population seed (default: %(default)s)")
+    args = parser.parse_args(argv)
+
+    payload = run_scale(quick=args.quick, seed=args.seed)
+    out_path = Path(args.out)
+    out_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    for size, cell in payload["sizes"].items():
+        wall = cell["wall"]
+        graph = cell["graph"]
+        print(f"n={size:>6}  build {wall['build_s'] * 1e3:9.1f} ms"
+              f"  refresh {wall['refresh_s_mean'] * 1e3:8.2f} ms"
+              f"  3-hop x{QUERY_SOURCES} {wall['query_s_mean'] * 1e3:8.2f} ms"
+              f"  edges={graph['edges']}"
+              f"  shards={graph['shards']}")
+    print(f"wrote {out_path}")
+
+    if args.check:
+        baseline_path = Path(args.baseline)
+        if not baseline_path.exists():
+            print(f"baseline {baseline_path} not found")
+            return 2
+        baseline = json.loads(baseline_path.read_text())
+        failures = check_scale_regression(payload, baseline, args.tolerance)
+        if failures:
+            for failure in failures:
+                print(f"REGRESSION: {failure}")
+            return 1
+        print(f"scale check OK (budget +{args.tolerance:.0%} "
+              f"vs {baseline_path})")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -42,12 +42,21 @@ class Simulator:
     #: dead entries are filtered out and the heap rebuilt in one pass.
     COMPACT_MIN_SIZE = 64
 
+    #: Hard cap on tombstones regardless of the live count.  The
+    #: fractional rule alone lets a huge heap carry an equally huge
+    #: tombstone shadow (at n=10k a protocol tick can keep ~hundreds of
+    #: thousands of live timers, licensing the same again in dead
+    #: entries); past this many tombstones the heap compacts even
+    #: though they are still a minority.
+    COMPACT_MAX_TOMBSTONES = 32768
+
     def __init__(self, seed: int = 0) -> None:
         self._now: float = 0.0
         self._heap: List[Event] = []
         self._seq: int = 0
         self._running: bool = False
         self._pending: int = 0
+        self._compactions: int = 0
         self.streams = RandomStreams(seed)
 
     # ------------------------------------------------------------------
@@ -62,6 +71,16 @@ class Simulator:
     def pending_events(self) -> int:
         """Number of live (non-cancelled) events still queued."""
         return self._pending
+
+    @property
+    def heap_size(self) -> int:
+        """Physical heap length, live events plus cancelled tombstones."""
+        return len(self._heap)
+
+    @property
+    def compactions(self) -> int:
+        """How many times the heap has been compacted so far."""
+        return self._compactions
 
     def peek(self) -> Optional[float]:
         """Time of the next live event, or ``None`` if the queue is empty."""
@@ -120,11 +139,29 @@ class Simulator:
         heap = self._heap
         if len(heap) < self.COMPACT_MIN_SIZE:
             return
-        if len(heap) - self._pending <= len(heap) // 2:
+        tombstones = len(heap) - self._pending
+        if (tombstones <= len(heap) // 2
+                and tombstones <= self.COMPACT_MAX_TOMBSTONES):
+            return
+        self.compact()
+
+    def compact(self) -> None:
+        """Rebuild the heap without cancelled tombstones, immediately.
+
+        Normally compaction is automatic (see :meth:`_maybe_compact`);
+        the public entry point exists for long-running drivers that want
+        to reclaim memory at a known-quiet instant (e.g. between scale
+        bench rounds) rather than whenever the threshold happens to
+        trip.  Semantics are unaffected: the total order on ``Event``
+        (time, priority, seq) makes the rebuilt heap deterministic.
+        """
+        heap = self._heap
+        if len(heap) == self._pending:
             return
         live = [event for event in heap if not event.cancelled]
         heapq.heapify(live)
         self._heap = live
+        self._compactions += 1
 
     # ------------------------------------------------------------------
     # Execution

@@ -1,0 +1,127 @@
+"""NodeStore unit behavior: slots, eviction, compaction, static skip."""
+
+import pytest
+
+from repro.geometry import Point
+from repro.geometry.region import Region
+from repro.mobility.base import Stationary
+from repro.mobility.waypoint import RandomWaypoint
+from repro.net.node import Node
+from repro.net.store import COMPACT_MIN_SLOTS, NodeStore
+
+import random
+
+
+def _node(i, x=0.0, y=0.0):
+    return Node(i, Stationary(Point(x, y)))
+
+
+def test_slots_are_insertion_ordered_and_stable():
+    store = NodeStore()
+    for i in (5, 2, 9):
+        store.add(_node(i))
+    assert store.ids == [5, 2, 9]
+    assert [store.slot_of[i] for i in (5, 2, 9)] == [0, 1, 2]
+    assert [n.node_id for n in store.alive_nodes()] == [5, 2, 9]
+    assert list(store.iter_alive_slots()) == [0, 1, 2]
+
+
+def test_duplicate_id_rejected():
+    store = NodeStore()
+    store.add(_node(1))
+    with pytest.raises(ValueError, match="duplicate node id 1"):
+        store.add(_node(1))
+
+
+def test_evict_tombstones_without_renumbering():
+    store = NodeStore()
+    for i in range(5):
+        store.add(_node(i))
+    assert store.evict(2)
+    assert not store.evict(2)  # already gone
+    assert 2 not in store
+    assert store.get(2) is None
+    assert len(store) == 4
+    assert store.capacity == 5          # arrays keep their length
+    assert store.tombstones == 1
+    assert store.layout_version == 0    # no renumbering yet
+    # Survivors keep their slots and order.
+    assert [n.node_id for n in store.alive_nodes()] == [0, 1, 3, 4]
+    assert store.slot_of[3] == 3
+
+
+def test_compaction_preserves_order_and_bumps_layout():
+    store = NodeStore()
+    n = COMPACT_MIN_SLOTS * 2
+    for i in range(n):
+        store.add(_node(i, x=float(i)))
+    store.refresh_positions(0.0)
+    # Evict just past the half threshold to trigger auto-compaction.
+    for i in range(0, n, 2):
+        store.evict(i)
+    store.evict(1)
+    assert store.layout_version == 1
+    assert store.tombstones == 0
+    survivors = [i for i in range(n) if i % 2 == 1 and i != 1]
+    assert store.ids == survivors
+    assert store.capacity == len(survivors)
+    # Slot order still equals insertion order, positions rode along.
+    for slot, nid in enumerate(store.ids):
+        assert store.slot_of[nid] == slot
+        assert store.xs[slot] == float(nid)
+
+
+def test_refresh_skips_unchanged_stationary_nodes():
+    store = NodeStore()
+    for i in range(10):
+        store.add(_node(i, x=float(i)))
+    alive, moved = store.refresh_positions(0.0)
+    assert alive == list(range(10))
+    assert moved == []  # first refresh populates, nothing "moved"
+    assert store.last_refresh_recomputed == 10
+    alive, moved = store.refresh_positions(5.0)
+    assert alive == list(range(10))
+    assert moved == []
+    assert store.last_refresh_recomputed == 0  # all static-skipped
+
+
+def test_model_swap_defeats_static_skip():
+    """Node.pin()-style mobility swaps must be recomputed, not skipped."""
+    store = NodeStore()
+    node = _node(0, x=1.0)
+    store.add(node)
+    store.refresh_positions(0.0)
+    assert store.xs[0] == 1.0
+    node.mobility = Stationary(Point(42.0, 0.0))  # new object, new spot
+    alive, moved = store.refresh_positions(1.0)
+    assert store.last_refresh_recomputed == 1
+    assert moved == [(0, 1.0, 0.0)]  # old coordinates reported
+    assert store.xs[0] == 42.0
+
+
+def test_moving_node_reports_old_coordinates():
+    region = Region(1000, 1000)
+    store = NodeStore()
+    walker = Node(0, RandomWaypoint(region, Point(100.0, 100.0), 20.0,
+                                    random.Random(3)))
+    store.add(walker)
+    store.refresh_positions(0.0)
+    x0, y0 = store.xs[0], store.ys[0]
+    _, moved = store.refresh_positions(2.0)
+    assert store.last_refresh_recomputed == 1
+    assert moved == [(0, x0, y0)]
+    assert (store.xs[0], store.ys[0]) != (x0, y0)
+
+
+def test_dead_nodes_are_excluded_but_keep_slots():
+    store = NodeStore()
+    for i in range(4):
+        store.add(_node(i))
+    store.get(1).alive = False
+    alive, _ = store.refresh_positions(0.0)
+    assert alive == [0, 2, 3]
+    assert [n.node_id for n in store.alive_nodes()] == [0, 2, 3]
+    assert len(store) == 4  # still present, merely down
+    store.get(1).alive = True
+    alive, _ = store.refresh_positions(1.0)
+    assert alive == [0, 1, 2, 3]

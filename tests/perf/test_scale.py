@@ -1,0 +1,122 @@
+"""The scale bench: schema, determinism, and the regression gate.
+
+The real matrix (1k/10k) runs in CI and locally via ``repro bench
+--scale``; tests shrink the size list so the whole file stays fast.
+"""
+
+import json
+
+import pytest
+
+from repro.perf import scale
+
+
+@pytest.fixture
+def tiny_matrix(monkeypatch):
+    monkeypatch.setattr(scale, "SCALE_SIZES_FULL", (120, 250))
+    monkeypatch.setattr(scale, "SCALE_SIZES_QUICK", (120,))
+    monkeypatch.setattr(scale, "ROUNDS", 2)
+    monkeypatch.setattr(scale, "CHURN_TIMERS", 200)
+
+
+def test_payload_schema_and_structure(tiny_matrix):
+    payload = scale.run_scale()
+    assert payload["schema"] == scale.SCALE_SCHEMA_VERSION
+    assert set(payload["sizes"]) == {"120", "250"}
+    for cell in payload["sizes"].values():
+        assert set(cell) >= {"n", "area_side_m", "rounds", "wall",
+                             "graph", "heap", "counters"}
+        assert cell["wall"]["build_s"] > 0
+        assert cell["graph"]["edges"] > 0
+        assert cell["graph"]["shards"] >= 1
+        assert cell["counters"]["graph_rebuilds"] >= 1
+        # Constant density: larger n means a larger area.
+    assert (payload["sizes"]["250"]["area_side_m"]
+            > payload["sizes"]["120"]["area_side_m"])
+
+
+def test_deterministic_sections_are_reproducible(tiny_matrix):
+    a = scale.run_scale()
+    b = scale.run_scale()
+    for size in a["sizes"]:
+        for key in ("counters", "graph", "heap"):
+            assert a["sizes"][size][key] == b["sizes"][size][key]
+
+
+def test_quick_mode_is_a_comparable_prefix_of_full(tiny_matrix):
+    """The CI smoke (quick) must gate cleanly against a full baseline."""
+    full = scale.run_scale()
+    quick = scale.run_scale(quick=True)
+    assert list(quick["sizes"]) == ["120"]
+    assert quick["sizes"]["120"]["rounds"] == full["sizes"]["120"]["rounds"]
+    assert scale.check_scale_regression(quick, full) == []
+
+
+def test_gate_flags_counter_regressions_and_structure_drift(tiny_matrix):
+    baseline = scale.run_scale(quick=True)
+    run = json.loads(json.dumps(baseline))  # deep copy
+    assert scale.check_scale_regression(run, baseline) == []
+    cell = run["sizes"]["120"]
+    cell["counters"]["bfs_calls"] = int(
+        baseline["sizes"]["120"]["counters"]["bfs_calls"] * 2)
+    cell["graph"]["edges"] += 1
+    failures = scale.check_scale_regression(run, baseline)
+    assert any("bfs_calls regressed" in f for f in failures)
+    assert any("graph edges changed" in f for f in failures)
+    # Improvements (counters below baseline) never fail.
+    cell["counters"]["bfs_calls"] = 1
+    cell["graph"]["edges"] -= 1
+    assert scale.check_scale_regression(run, baseline) == []
+
+
+def test_gate_refuses_incomparable_round_counts(tiny_matrix):
+    baseline = scale.run_scale(quick=True)
+    run = json.loads(json.dumps(baseline))
+    run["sizes"]["120"]["rounds"] = baseline["sizes"]["120"]["rounds"] + 1
+    failures = scale.check_scale_regression(run, baseline)
+    assert any("rounds differ" in f for f in failures)
+
+
+def test_cli_writes_payload_and_checks(tiny_matrix, tmp_path):
+    out = tmp_path / "BENCH_scale.json"
+    assert scale.main(["--quick", "--out", str(out)]) == 0
+    payload = json.loads(out.read_text())
+    assert payload["quick"] is True
+    # A second run gates green against the first.
+    out2 = tmp_path / "BENCH_scale_2.json"
+    rc = scale.main(["--quick", "--out", str(out2),
+                     "--check", "--baseline", str(out)])
+    assert rc == 0
+    assert scale.main(["--check", "--quick", "--out", str(out2),
+                       "--baseline", str(tmp_path / "missing.json")]) == 2
+
+
+def test_mobile_fraction_keeps_delta_path_active(tiny_matrix):
+    """The workload must exercise the regime it claims to measure:
+    delta rebuilds with a small dirty set, static skip doing the bulk."""
+    payload = scale.run_scale(quick=True)
+    counters = payload["sizes"]["120"]["counters"]
+    assert counters["graph_delta_rebuilds"] >= 1
+    assert counters["graph_full_rebuilds"] >= 1  # the initial build
+    # Static skip: recomputed positions per refresh ~= mobile count,
+    # far below n * refreshes.
+    n = 120
+    refreshes = counters["graph_rebuilds"]
+    assert counters["graph_positions_recomputed"] < n * refreshes / 2
+    # Shard dirty tracking: delta refreshes touch fewer shards than a
+    # full rebuild's total (full rebuilds count every occupied shard).
+    assert counters["graph_shards_touched"] > 0
+
+
+def test_committed_baseline_matches_schema():
+    """BENCH_scale.json at the repo root stays loadable and current."""
+    from pathlib import Path
+
+    path = Path(__file__).resolve().parents[2] / "BENCH_scale.json"
+    assert path.exists(), "repo-root BENCH_scale.json baseline missing"
+    payload = json.loads(path.read_text())
+    assert payload["schema"] == scale.SCALE_SCHEMA_VERSION
+    assert set(payload["sizes"]) == {"1000", "10000"}
+    for cell in payload["sizes"].values():
+        assert cell["graph"]["edges"] > 0
+        assert cell["counters"]

@@ -71,6 +71,35 @@ def test_compacted_heap_is_a_valid_heap():
     assert popped == reference
 
 
+def test_tombstone_cap_triggers_compaction_in_large_heaps():
+    """Even while tombstones are a minority, the absolute cap bounds them."""
+    sim = Simulator()
+    sim.COMPACT_MAX_TOMBSTONES = 50
+    handles = [sim.schedule(float(i + 1), lambda: None) for i in range(400)]
+    # Cancel 100 of 400 (25% — far below the half-heap fractional rule).
+    for handle in handles[300:]:
+        sim.cancel(handle)
+    assert sim.pending_events == 300
+    assert sim.compactions >= 1
+    assert sim.heap_size - sim.pending_events <= 50
+
+
+def test_public_compact_purges_now_and_counts():
+    sim = Simulator()
+    handles = [sim.schedule(float(i + 1), lambda: None) for i in range(30)]
+    for handle in handles[20:]:
+        sim.cancel(handle)
+    # Below COMPACT_MIN_SIZE nothing happened automatically...
+    assert sim.heap_size == 30
+    assert sim.compactions == 0
+    sim.compact()
+    assert sim.heap_size == sim.pending_events == 20
+    assert sim.compactions == 1
+    # ...and compacting an already-clean heap is a free no-op.
+    sim.compact()
+    assert sim.compactions == 1
+
+
 def test_timer_restart_churn_keeps_heap_bounded():
     """Realistic churn: a constantly-restarted timeout must not grow the
     heap without bound (the original lazy-cancel leak)."""
