@@ -47,6 +47,7 @@ from repro.experiments.report import format_layout
 from repro.experiments.runner import PROTOCOLS, ScenarioRunner
 from repro.experiments.sweep import (
     SweepExecutor,
+    SweepSummary,
     derive_seeds,
     expand_grid,
     set_default_executor,
@@ -157,6 +158,10 @@ def build_parser() -> argparse.ArgumentParser:
                            "or os.cpu_count(); 1 = serial)")
     sw_p.add_argument("--cache", default=None, metavar="DIR",
                       help="cache run results under DIR")
+    sw_p.add_argument("--out", default=None, metavar="FILE",
+                      help="write the streamed sweep summary (canonical "
+                           "JSON, byte-identical to the materialized "
+                           "aggregates) to FILE")
     add_faults_arg(sw_p)
     add_trace_args(sw_p)
 
@@ -199,7 +204,7 @@ def build_parser() -> argparse.ArgumentParser:
     bench_p.add_argument("--quick", action="store_true",
                          help="small matrix (CI perf-smoke)")
     bench_p.add_argument("--scale", action="store_true",
-                         help="run the 1k/10k n-scaling matrix instead "
+                         help="run the 1k/10k/50k n-scaling matrix instead "
                               "(see docs/SCALING.md)")
     bench_p.add_argument("--out", default=None,
                          help="output JSON (default: BENCH_topology.json, "
@@ -356,33 +361,42 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         workers = 1
     executor = SweepExecutor(
         workers=workers, cache_dir=args.cache, progress=progress)
-    report = executor.run(specs)
-    print(file=sys.stderr)
 
+    # Stream cells instead of materializing a SweepReport: rows and the
+    # summary fold incrementally, so a large grid never holds every
+    # RunResult at once, and --out gets the canonical streamed summary.
+    summary = SweepSummary()
     rows = []
-    for spec, result, elapsed, hit in zip(
-            report.specs, report.results, report.durations, report.cached):
+    for cell in executor.stream(specs):
+        summary.fold(cell)
+        spec, result = cell.spec, cell.result
         rows.append([
             spec.protocol, spec.scenario.num_nodes, spec.scenario.seed,
             f"{100 * result.configuration_success_rate():.0f} %",
             round(result.avg_config_latency_hops(), 1),
             round(result.config_overhead_per_node(), 1),
-            "hit" if hit else f"{elapsed:.2f}s",
+            "hit" if cell.cached else f"{cell.duration:.2f}s",
         ])
+    print(file=sys.stderr)
+
     print(format_table(
         ["protocol", "nodes", "seed", "configured", "latency (hops)",
          "config hops/node", "run"], rows))
-    counts = report.stats.snapshot()
+    counts = executor.stats.snapshot()
     print(f"\n{len(specs)} cells, workers={executor.workers}, "
-          f"wall clock {report.wall_clock_s:.2f}s; "
+          f"compute {summary.compute_s:.2f}s; "
           f"executed={counts.get('executed', 0)} "
           f"cache_hits={counts.get('cache_hit', 0)} "
           f"failed={counts.get('failed', 0)} "
-          f"({100 * report.cache_hit_rate():.0f} % cached)")
-    span_totals = report.obs_span_totals()
+          f"({100 * summary.cache_hit_rate():.0f} % cached)")
+    span_totals = summary.obs_span_totals()
     if span_totals:
         tally = " ".join(f"{k}={v}" for k, v in span_totals.items())
         print(f"spans: {tally}")
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(summary.to_json() + "\n")
+        print(f"wrote {args.out}")
     return 0
 
 

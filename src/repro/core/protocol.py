@@ -73,7 +73,7 @@ class QuorumProtocolAgent(
 
         self.role = Role.UNCONFIGURED
         self.common: Optional[CommonState] = None
-        self.head: Optional[HeadState] = None
+        self.head = None
         self.network_id: Optional[int] = None
 
         # Metrics.
@@ -119,6 +119,42 @@ class QuorumProtocolAgent(
     @property
     def node_id(self) -> int:
         return self.node.node_id
+
+    @property
+    def role(self) -> Role:
+        return self._role
+
+    @role.setter
+    def role(self, value: Role) -> None:
+        # Every role transition writes through to the context's
+        # struct-of-arrays registry so aggregate role counts never need
+        # to walk the agent objects (see repro.net.agents.AgentStore).
+        self._role = value
+        self.ctx.agents.note_role(self.node.node_id, value.value)
+
+    @property
+    def head(self) -> Optional[HeadState]:
+        return self._head
+
+    @head.setter
+    def head(self, state: Optional[HeadState]) -> None:
+        # Adopting (or dropping) head state rewires the QDSet's size
+        # write-through so the AgentStore column tracks every add/remove
+        # without the mixins knowing about the registry.
+        self._head = state
+        agents = self.ctx.agents
+        node_id = self.node.node_id
+        if state is None:
+            agents.note_qdset_size(node_id, 0)
+        else:
+            qdset = state.qdset
+            qdset.on_change = (
+                lambda size: agents.note_qdset_size(node_id, size))
+            agents.note_qdset_size(node_id, len(qdset))
+
+    def _sync_vote_timers(self) -> None:
+        self.ctx.agents.note_vote_timers(
+            self.node.node_id, len(self._vote_timers))
 
     @property
     def ip(self) -> Optional[int]:
@@ -561,6 +597,7 @@ class QuorumProtocolAgent(
         timer = Timer(self.ctx.sim, self._on_vote_timeout)
         timer.start(self.cfg.config_timeout * 0.75, pending.attempt_id)
         self._vote_timers[pending.attempt_id] = timer
+        self._sync_vote_timers()
         self._maybe_decide(pending)
 
     def _handle_quorum_clt(self, msg: Message) -> None:
@@ -713,6 +750,7 @@ class QuorumProtocolAgent(
     def _on_vote_timeout(self, attempt_id: int) -> None:
         pending = self._pending.get(attempt_id)
         self._vote_timers.pop(attempt_id, None)
+        self._sync_vote_timers()
         if pending is None or pending.collector is None:
             return
         if pending.collector.decide() is not None:
@@ -750,6 +788,7 @@ class QuorumProtocolAgent(
         timer = self._vote_timers.pop(pending.attempt_id, None)
         if timer is not None:
             timer.stop()
+        self._sync_vote_timers()
         obs = self.ctx.obs
         if obs:
             latest = pending.collector.latest_record()
@@ -826,6 +865,7 @@ class QuorumProtocolAgent(
         timer = self._vote_timers.pop(pending.attempt_id, None)
         if timer is not None:
             timer.stop()
+        self._sync_vote_timers()
 
     # ==================================================================
     # Commit — write the update into the quorum
@@ -1372,6 +1412,7 @@ class QuorumProtocolAgent(
         for timer in self._vote_timers.values():
             timer.stop()
         self._vote_timers.clear()
+        self._sync_vote_timers()
         self._stop_location_service()
         self._stop_audit()
         self._stop_merge_watch()

@@ -12,8 +12,10 @@ from repro.experiments.report import format_series, format_table
 from repro.experiments.sweep import (
     RunCache,
     RunSpec,
+    SweepCell,
     SweepExecutor,
     SweepReport,
+    SweepSummary,
     derive_seeds,
     expand_grid,
 )
@@ -33,8 +35,10 @@ __all__ = [
     "format_table",
     "RunSpec",
     "RunCache",
+    "SweepCell",
     "SweepExecutor",
     "SweepReport",
+    "SweepSummary",
     "derive_seeds",
     "expand_grid",
 ]

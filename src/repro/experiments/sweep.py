@@ -30,6 +30,17 @@ Typical use::
         print(spec.protocol, result.avg_config_latency_hops())
     print(report.stats.snapshot())   # scheduled/executed/cached/failed
 
+Large grids can stream instead of materializing: iterate
+:meth:`SweepExecutor.stream` and fold each :class:`SweepCell` through
+a :class:`SweepSummary` — the folded totals are byte-identical to the
+materialized report's aggregates (``report.summary().to_json()``),
+while memory stays bounded by the not-yet-yielded cells::
+
+    summary = SweepSummary()
+    for cell in SweepExecutor(workers=8).stream(specs):
+        summary.fold(cell)
+    print(summary.perf_totals())
+
 Figure functions route through the process-wide default executor
 (:func:`default_executor`), which stays serial and uncached unless the
 ``REPRO_SWEEP_WORKERS`` / ``REPRO_SWEEP_CACHE`` environment variables —
@@ -47,7 +58,8 @@ import time
 from concurrent.futures import ProcessPoolExecutor
 from pathlib import Path
 from typing import (
-    Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union,
+    Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence,
+    Tuple, Union,
 )
 
 from repro.experiments.metrics import RunResult
@@ -230,6 +242,104 @@ class RunCache:
 
 
 # ---------------------------------------------------------------------------
+# Streaming cells and incremental aggregation
+# ---------------------------------------------------------------------------
+@dataclasses.dataclass(frozen=True)
+class SweepCell:
+    """One completed sweep cell, as yielded by :meth:`SweepExecutor.stream`.
+
+    ``duration`` is seconds of compute (0.0 for cache hits); ``index``
+    is the cell's position in the input spec sequence, so consumers can
+    re-align streamed cells with their grid without materializing it.
+    """
+
+    index: int
+    spec: RunSpec
+    result: RunResult
+    duration: float
+    cached: bool
+
+
+class SweepSummary:
+    """Incrementally folded sweep aggregates.
+
+    The streaming counterpart of :class:`SweepReport`'s aggregate
+    methods: feed cells one at a time through :meth:`fold` and read the
+    same totals a materialized report would produce — byte-identical,
+    not merely equal.  Folds are kept exact by construction: integer
+    counter sums are associative, histogram buckets are fixed-width
+    elementwise sums, and cells arrive in spec order from both
+    :meth:`SweepExecutor.stream` and :meth:`SweepReport.stream`, so
+    ``json.dumps`` of the folded totals matches the materialized
+    aggregates byte for byte.
+
+    ``compute_s`` (summed wall-clock compute) is reported for humans
+    but deliberately excluded from :meth:`to_dict`/:meth:`to_json`:
+    the canonical payload contains only run-content facts, so two
+    sweeps over the same specs serialize identically regardless of
+    machine speed.
+    """
+
+    def __init__(self) -> None:
+        self.cells = 0
+        self.executed = 0
+        self.cached = 0
+        self.compute_s = 0.0
+        self._perf: Dict[str, int] = {}
+        self._histograms: Dict[str, List[int]] = {}
+        self._spans: Dict[str, int] = {}
+
+    def fold(self, cell: SweepCell) -> "SweepSummary":
+        """Absorb one cell; returns self for chaining."""
+        self.cells += 1
+        if cell.cached:
+            self.cached += 1
+        else:
+            self.executed += 1
+        self.compute_s += cell.duration
+        result = cell.result
+        for name, count in result.perf_counters.items():
+            self._perf[name] = self._perf.get(name, 0) + count
+        if result.obs_histograms:
+            from repro.obs import merge_histograms
+
+            self._histograms = merge_histograms(
+                self._histograms, result.obs_histograms)
+        for outcome, count in result.obs_spans.items():
+            self._spans[outcome] = self._spans.get(outcome, 0) + count
+        return self
+
+    # -- the same aggregate surface SweepReport exposes ----------------
+    def cache_hit_rate(self) -> float:
+        return (self.cached / self.cells) if self.cells else 0.0
+
+    def perf_totals(self) -> Dict[str, int]:
+        return dict(sorted(self._perf.items()))
+
+    def obs_histogram_totals(self) -> Dict[str, List[int]]:
+        return dict(sorted(self._histograms.items()))
+
+    def obs_span_totals(self) -> Dict[str, int]:
+        return dict(sorted(self._spans.items()))
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Deterministic JSON-safe payload (no wall-clock fields)."""
+        return {
+            "cells": self.cells,
+            "executed": self.executed,
+            "cached": self.cached,
+            "cache_hit_rate": self.cache_hit_rate(),
+            "perf_totals": self.perf_totals(),
+            "obs_histogram_totals": self.obs_histogram_totals(),
+            "obs_span_totals": self.obs_span_totals(),
+        }
+
+    def to_json(self) -> str:
+        """Canonical serialization (sorted keys) for byte comparison."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+
+# ---------------------------------------------------------------------------
 # The executor
 # ---------------------------------------------------------------------------
 @dataclasses.dataclass
@@ -282,6 +392,29 @@ class SweepReport:
                 totals[outcome] = totals.get(outcome, 0) + count
         return dict(sorted(totals.items()))
 
+    def stream(self) -> Iterator[SweepCell]:
+        """Re-play the materialized report as spec-order cells.
+
+        The same cell sequence :meth:`SweepExecutor.stream` yields
+        live, so any streaming consumer also accepts a report built
+        earlier (or loaded from cache hits).
+        """
+        for i, spec in enumerate(self.specs):
+            yield SweepCell(index=i, spec=spec, result=self.results[i],
+                            duration=self.durations[i], cached=self.cached[i])
+
+    def summary(self) -> SweepSummary:
+        """Fold the whole report into a :class:`SweepSummary`.
+
+        Byte-identical to folding the live stream that produced this
+        report: ``report.summary().to_json()`` equals the ``to_json``
+        of a summary folded cell-by-cell during execution.
+        """
+        summary = SweepSummary()
+        for cell in self.stream():
+            summary.fold(cell)
+        return summary
+
 
 class SweepExecutor:
     """Fans RunSpecs out over worker processes, with caching.
@@ -323,38 +456,22 @@ class SweepExecutor:
 
     # ------------------------------------------------------------------
     def run(self, specs: Sequence[RunSpec]) -> SweepReport:
-        """Execute every spec (or serve it from cache); specs order kept."""
+        """Execute every spec (or serve it from cache); specs order kept.
+
+        Materializes :meth:`stream` — same execution, same stats, with
+        every cell retained in a :class:`SweepReport`.
+        """
         specs = list(specs)
         started = time.perf_counter()
         total = len(specs)
-        self.stats.incr("scheduled", total)
 
         results: List[Optional[RunResult]] = [None] * total
         durations: List[float] = [0.0] * total
         cached: List[bool] = [False] * total
-
-        pending: List[int] = []
-        done = 0
-        for i, spec in enumerate(specs):
-            hit = self.cache.get(spec) if self.cache is not None else None
-            if hit is not None:
-                results[i] = hit
-                cached[i] = True
-                self.stats.incr("cache_hit")
-                done += 1
-                self._report(done, total, spec)
-            else:
-                if self.cache is not None:
-                    self.stats.incr("cache_miss")
-                pending.append(i)
-
-        if pending:
-            if self.workers > 1:
-                done = self._run_parallel(
-                    specs, pending, results, durations, done, total)
-            else:
-                done = self._run_serial(
-                    specs, pending, results, durations, done, total)
+        for cell in self.stream(specs):
+            results[cell.index] = cell.result
+            durations[cell.index] = cell.duration
+            cached[cell.index] = cell.cached
 
         report = SweepReport(
             specs=specs,
@@ -365,9 +482,90 @@ class SweepExecutor:
             wall_clock_s=time.perf_counter() - started,
         )
         if len(report.results) != total:
-            # _run_* raise on failure, so this is purely defensive.
+            # stream() raises on failure, so this is purely defensive.
             raise RuntimeError("sweep lost results for some specs")
         return report
+
+    def stream(self, specs: Sequence[RunSpec]) -> Iterator[SweepCell]:
+        """Yield each cell as it completes, strictly in spec order.
+
+        The streaming core of the executor: cache lookups happen up
+        front, pending cells execute serially in-process or fan out
+        over the worker pool, and completed cells are yielded in spec
+        order regardless of completion order.  A consumer that folds
+        the stream through :class:`SweepSummary` therefore computes
+        byte-identical aggregates to materializing a full
+        :class:`SweepReport` first — while holding only the
+        not-yet-yielded results in memory, which is what lets a 10k+
+        cell sweep report totals without storing every RunResult.
+
+        Abandoning the iterator early cancels not-yet-started cells.
+        """
+        specs = list(specs)
+        total = len(specs)
+        self.stats.incr("scheduled", total)
+
+        hits: Dict[int, RunResult] = {}
+        pending: List[int] = []
+        for i, spec in enumerate(specs):
+            hit = self.cache.get(spec) if self.cache is not None else None
+            if hit is not None:
+                hits[i] = hit
+                self.stats.incr("cache_hit")
+            else:
+                if self.cache is not None:
+                    self.stats.incr("cache_miss")
+                pending.append(i)
+
+        if self.workers > 1 and len(pending) > 1:
+            computed = self._parallel_iter(specs, pending)
+        else:
+            computed = (self._execute_one(specs[i]) for i in pending)
+        try:
+            done = 0
+            for i, spec in enumerate(specs):
+                if i in hits:
+                    cell = SweepCell(index=i, spec=spec, result=hits.pop(i),
+                                     duration=0.0, cached=True)
+                else:
+                    result, elapsed = next(computed)
+                    cell = SweepCell(index=i, spec=spec, result=result,
+                                     duration=elapsed, cached=False)
+                done += 1
+                self._report(done, total, spec)
+                yield cell
+        finally:
+            computed.close()
+
+    def _parallel_iter(
+        self, specs: Sequence[RunSpec], pending: Sequence[int],
+    ) -> Iterator[Tuple[RunResult, float]]:
+        """(result, elapsed) for each pending index, in pending order.
+
+        All pending cells are submitted to the pool immediately;
+        results are consumed (and their future references dropped) in
+        submission order, so completed-but-unyielded cells are the only
+        extra memory.  Closing the iterator cancels unstarted futures.
+        """
+        workers = min(self.workers, len(pending))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                i: pool.submit(_execute_timed, specs[i]) for i in pending
+            }
+            try:
+                for i in pending:
+                    try:
+                        result, elapsed = futures.pop(i).result()
+                    except Exception:
+                        self.stats.incr("failed")
+                        raise
+                    self.stats.incr("executed")
+                    if self.cache is not None:
+                        self.cache.put(specs[i], result, elapsed)
+                    yield result, elapsed
+            finally:
+                for future in futures.values():
+                    future.cancel()
 
     def map_metric(self, specs: Sequence[RunSpec],
                    metric: Callable[[RunResult], float]) -> List[float]:
@@ -380,34 +578,6 @@ class SweepExecutor:
         return [metric(result) for result in self.run(specs).results]
 
     # ------------------------------------------------------------------
-    def _run_serial(self, specs, pending, results, durations,
-                    done: int, total: int) -> int:
-        for i in pending:
-            results[i], durations[i] = self._execute_one(specs[i])
-            done += 1
-            self._report(done, total, specs[i])
-        return done
-
-    def _run_parallel(self, specs, pending, results, durations,
-                      done: int, total: int) -> int:
-        workers = min(self.workers, len(pending))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = {
-                i: pool.submit(_execute_timed, specs[i]) for i in pending
-            }
-            for i in pending:
-                try:
-                    results[i], durations[i] = futures[i].result()
-                except Exception:
-                    self.stats.incr("failed")
-                    raise
-                self.stats.incr("executed")
-                if self.cache is not None:
-                    self.cache.put(specs[i], results[i], durations[i])
-                done += 1
-                self._report(done, total, specs[i])
-        return done
-
     def _execute_one(self, spec: RunSpec) -> Tuple[RunResult, float]:
         try:
             result, elapsed = _execute_timed(spec)

@@ -84,7 +84,9 @@ class FaultModel:
             self.events.incr("fault_crash_skipped")
             return
         node.alive = False
-        self.topology.invalidate()
+        # Scope is exactly this node: the delta-rebuild path absorbs
+        # the flip instead of paying a full O(n) rebuild per crash.
+        self.topology.invalidate_nodes((crash.node_id,))
         self.events.incr("fault_crashes")
         if crash.restart_at is not None:
             self.sim.schedule_at(crash.restart_at, self._restart, crash)
@@ -100,7 +102,7 @@ class FaultModel:
         if node is None or node.alive:
             return
         node.alive = True
-        self.topology.invalidate()
+        self.topology.invalidate_nodes((crash.node_id,))
         self.events.incr("fault_restarts")
 
     # ------------------------------------------------------------------

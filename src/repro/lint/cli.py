@@ -5,7 +5,7 @@ Usage::
     python -m repro lint                      # scan src, examples, benchmarks
     python -m repro lint src/repro/core       # explicit paths
     python -m repro lint --select send-api    # one rule only
-    python -m repro lint --strict --json-out lint-findings.json   # CI
+    python -m repro lint --strict --out lint-findings.json        # CI
     python -m repro lint --write-baseline lint-baseline.json
     python -m repro lint --baseline lint-baseline.json
 
@@ -47,9 +47,12 @@ def configure_parser(parser: argparse.ArgumentParser) -> None:
         "--format", choices=("text", "json"), default="text",
         help="stdout format (default: text)")
     parser.add_argument(
-        "--json-out", metavar="FILE", default=None,
+        "--out", metavar="FILE", default=None,
         help="additionally write the JSON report to FILE "
              "(CI artifact), independent of --format")
+    parser.add_argument(
+        "--json-out", dest="out", metavar="FILE",
+        help=argparse.SUPPRESS)  # deprecated alias of --out (see docs/API.md)
     parser.add_argument(
         "--strict", action="store_true",
         help="exit non-zero on warnings too, not just errors")
@@ -129,8 +132,8 @@ def run(args: argparse.Namespace, out: Optional[TextIO] = None) -> int:
 
 def _emit(report: LintReport, args: argparse.Namespace,
           stream: TextIO) -> int:
-    if args.json_out is not None:
-        Path(args.json_out).write_text(
+    if args.out is not None:
+        Path(args.out).write_text(
             json.dumps(report.to_json(), indent=2, sort_keys=True) + "\n",
             encoding="utf-8")
     if args.format == "json":

@@ -200,29 +200,27 @@ class RngStreamRule(Rule):
 class SendApiRule(Rule):
     """Everything must go through ``Transport.send``.
 
-    The deprecated ``unicast`` / ``broadcast_1hop`` / ``flood`` shims
-    survive for downstream users only; in-repo callers were migrated in
-    PR 2 and must not creep back.
+    The pre-``send()`` surface (``unicast`` / ``broadcast_1hop`` /
+    ``flood``) was deprecated in PR 2 and removed outright once the
+    window closed — any call site is a hard error everywhere, shim
+    module included (there is no shim module anymore).
     """
 
     name = "send-api"
-    description = ("deprecated Transport.unicast/broadcast_1hop/flood "
-                   "called outside the shim module")
+    description = ("removed Transport.unicast/broadcast_1hop/flood "
+                   "surface called")
     severity = Severity.ERROR
 
-    _DEPRECATED = {"unicast", "broadcast_1hop", "flood"}
-
-    def applies(self, ctx: FileContext) -> bool:
-        return not ctx.is_module("repro.net.transport")
+    _REMOVED = {"unicast", "broadcast_1hop", "flood"}
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         for node in ast.walk(ctx.tree):
             if isinstance(node, ast.Call) and \
                     isinstance(node.func, ast.Attribute) and \
-                    node.func.attr in self._DEPRECATED:
+                    node.func.attr in self._REMOVED:
                 yield ctx.finding(
                     self, node,
-                    f".{node.func.attr}() is a deprecated Transport shim; "
+                    f".{node.func.attr}() was removed from Transport; "
                     "use Transport.send(..., scope=...) instead")
 
 

@@ -15,28 +15,24 @@ which charges hop counts to per-category counters in
 overhead figure in the evaluation.
 """
 
+from repro.net.agents import AgentStore
 from repro.net.message import Message
 from repro.net.node import Node
 from repro.net.stats import Category, Counters, MessageStats
+from repro.net.store import NodeStore
 from repro.net.topology import Topology
-from repro.net.transport import (
-    Delivery,
-    FloodResult,
-    Scope,
-    SendOutcome,
-    Transport,
-)
+from repro.net.transport import Scope, SendOutcome, Transport
 from repro.net.hello import HelloService
 
 __all__ = [
+    "AgentStore",
     "Message",
     "Node",
     "Category",
     "Counters",
     "MessageStats",
+    "NodeStore",
     "Topology",
-    "Delivery",
-    "FloodResult",
     "Scope",
     "SendOutcome",
     "Transport",

@@ -1,0 +1,309 @@
+"""Struct-of-arrays agent state (the scale layer's protocol half).
+
+:class:`~repro.net.store.NodeStore` gave the *engine* (positions,
+liveness, the spatial grid) an array-backed layout; agents were still
+one Python object per node behind a plain dict.  That is fine for the
+object-graph parts of the protocol — handlers, per-attempt state — but
+every aggregate question ("how many heads?", "how many configured?",
+"how large are the quorums?") walked ``n`` heterogeneous objects and a
+method call each, and the registry itself kept dict overhead per node.
+
+:class:`AgentStore` mirrors the NodeStore discipline for the agent
+registry:
+
+* **Slots.**  Every registered agent gets a monotonically increasing
+  *slot*; parallel arrays hold the hot denormalized columns — interned
+  role code, bound address, QDSet size, live vote-timer count — and the
+  agent object itself.  Slot order is insertion order and compaction
+  preserves it, so iteration (``items()``) replays the registration
+  order exactly like the dict it replaces.
+
+* **Write-through columns, authoritative objects.**  The protocol and
+  the context push column updates at the natural transition points
+  (role assignment, ``bind_ip``/``unbind_ip``, QDSet add/remove, vote
+  timer arm/cancel) via the ``note_*`` methods.  Semantics are
+  unchanged: the agent object remains the authority (``is_head`` /
+  ``is_configured`` still ask it); the columns are the O(1)-per-update,
+  O(n)-scan-free aggregate surface that sweeps, benches and the obs
+  layer read.
+
+* **Tombstoned eviction + compaction.**  ``evict`` clears a slot in
+  O(1); once tombstones exceed half the slot space (same
+  :data:`~repro.net.store.COMPACT_TOMBSTONE_FRACTION` /
+  :data:`~repro.net.store.COMPACT_MIN_SLOTS` policy as the node store)
+  the arrays are rebuilt without them and ``layout_version`` is bumped
+  so anything holding slot references knows to re-resolve.  Long churn
+  scenarios stay O(live registrations).
+
+The mapping surface (``get`` / ``items`` / ``values`` / ``pop`` /
+``in`` / ``len`` / iteration) is drop-in for the dict that
+:class:`~repro.net.context.NetworkContext` used to hold, so existing
+callers — the runner's ``sorted(ctx.agents.items())``, the baselines'
+registry scans — run unchanged.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.net.store import COMPACT_MIN_SLOTS, COMPACT_TOMBSTONE_FRACTION
+
+#: ``addresses`` column sentinel: no address bound to this agent.
+NO_ADDRESS = -1
+
+
+def _role_name(agent: Any) -> str:
+    """The interned-role string for an agent (\"\" when it has none)."""
+    role = getattr(agent, "role", None)
+    if role is None:
+        return ""
+    return str(getattr(role, "value", role))
+
+
+class AgentStore:
+    """Array-backed agent registry, indexed by slot.
+
+    The public surface is two-layered: the dict-compatible registry
+    (what :class:`~repro.net.context.NetworkContext` exposes as
+    ``ctx.agents``) and the denormalized columns with their ``note_*``
+    write-through hooks and aggregate readers.
+    """
+
+    def __init__(self) -> None:
+        # slot -> ... parallel arrays.  A tombstoned slot keeps its
+        # array entries (agent=None marks it dead) until compaction.
+        self.ids: List[int] = []
+        self.agents: List[Optional[Any]] = []
+        #: slot -> interned role code (index into ``role_names``).
+        self.role_codes: bytearray = bytearray()
+        #: slot -> bound address, or :data:`NO_ADDRESS`.
+        self.addresses: array = array("q")
+        #: slot -> QDSet size (0 for non-heads / non-quorum agents).
+        self.qdset_sizes: array = array("q")
+        #: slot -> live vote timers (allocator-side pending attempts).
+        self.vote_timers: array = array("q")
+        self.slot_of: Dict[int, int] = {}
+        self._tombstones = 0
+        #: Bumped whenever slot numbering changes (compaction).  Slot
+        #: references held outside the store are invalid across bumps.
+        self.layout_version = 0
+        #: code -> role string; code 0 is always "" (no role).
+        self.role_names: List[str] = [""]
+        self._role_code_of: Dict[str, int] = {"": 0}
+
+    # ------------------------------------------------------------------
+    # Registration (population management)
+    # ------------------------------------------------------------------
+    def _intern_role(self, name: str) -> int:
+        code = self._role_code_of.get(name)
+        if code is None:
+            code = len(self.role_names)
+            if code > 255:
+                raise ValueError("role vocabulary exceeds 255 entries")
+            self.role_names.append(name)
+            self._role_code_of[name] = code
+        return code
+
+    def add(self, agent: Any) -> int:
+        """Register ``agent``, returning its slot.
+
+        Re-registering an id replaces the agent in place (dict
+        semantics — the registry held ``agents[id] = agent``), keeping
+        the original slot and re-snapshotting the columns.
+        """
+        node_id = int(agent.node.node_id)
+        slot = self.slot_of.get(node_id)
+        if slot is not None:
+            self.agents[slot] = agent
+            self._snapshot(slot, agent)
+            return slot
+        slot = len(self.ids)
+        self.ids.append(node_id)
+        self.agents.append(agent)
+        self.role_codes.append(0)
+        self.addresses.append(NO_ADDRESS)
+        self.qdset_sizes.append(0)
+        self.vote_timers.append(0)
+        self.slot_of[node_id] = slot
+        self._snapshot(slot, agent)
+        return slot
+
+    def _snapshot(self, slot: int, agent: Any) -> None:
+        """Initialize the columns from whatever the agent already has."""
+        self.role_codes[slot] = self._intern_role(_role_name(agent))
+        ip = getattr(agent, "ip", None)
+        self.addresses[slot] = NO_ADDRESS if ip is None else int(ip)
+        self.qdset_sizes[slot] = 0
+        self.vote_timers[slot] = 0
+
+    def evict(self, node_id: int) -> bool:
+        """Tombstone ``node_id``'s slot; True if it was present."""
+        slot = self.slot_of.pop(node_id, None)
+        if slot is None:
+            return False
+        self.agents[slot] = None
+        self.role_codes[slot] = 0
+        self.addresses[slot] = NO_ADDRESS
+        self.qdset_sizes[slot] = 0
+        self.vote_timers[slot] = 0
+        self._tombstones += 1
+        self._maybe_compact()
+        return True
+
+    def _maybe_compact(self) -> None:
+        total = len(self.ids)
+        if total < COMPACT_MIN_SLOTS:
+            return
+        if self._tombstones <= COMPACT_TOMBSTONE_FRACTION * total:
+            return
+        self.compact()
+
+    def compact(self) -> None:
+        """Rewrite every array without tombstones (order preserved)."""
+        if not self._tombstones:
+            return
+        keep = [s for s, agent in enumerate(self.agents) if agent is not None]
+        self.ids = [self.ids[s] for s in keep]
+        self.agents = [self.agents[s] for s in keep]
+        self.role_codes = bytearray(self.role_codes[s] for s in keep)
+        self.addresses = array("q", (self.addresses[s] for s in keep))
+        self.qdset_sizes = array("q", (self.qdset_sizes[s] for s in keep))
+        self.vote_timers = array("q", (self.vote_timers[s] for s in keep))
+        self.slot_of = {nid: s for s, nid in enumerate(self.ids)}
+        self._tombstones = 0
+        self.layout_version += 1
+
+    @property
+    def capacity(self) -> int:
+        """Slot-space size including tombstones (array lengths)."""
+        return len(self.ids)
+
+    @property
+    def tombstones(self) -> int:
+        return self._tombstones
+
+    # ------------------------------------------------------------------
+    # Dict-compatible registry surface (what ctx.agents callers use)
+    # ------------------------------------------------------------------
+    def get(self, node_id: int, default: Any = None) -> Any:
+        slot = self.slot_of.get(node_id)
+        return self.agents[slot] if slot is not None else default
+
+    def pop(self, node_id: int, default: Any = None) -> Any:
+        slot = self.slot_of.get(node_id)
+        if slot is None:
+            return default
+        agent = self.agents[slot]
+        self.evict(node_id)
+        return agent
+
+    def __getitem__(self, node_id: int) -> Any:
+        slot = self.slot_of.get(node_id)
+        if slot is None:
+            raise KeyError(node_id)
+        return self.agents[slot]
+
+    def __setitem__(self, node_id: int, agent: Any) -> None:
+        if int(agent.node.node_id) != node_id:
+            raise ValueError(
+                f"agent for node {agent.node.node_id} registered "
+                f"under id {node_id}")
+        self.add(agent)
+
+    def __contains__(self, node_id: int) -> bool:
+        return node_id in self.slot_of
+
+    def __len__(self) -> int:
+        return len(self.slot_of)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.keys())
+
+    def keys(self) -> List[int]:
+        """Registered node ids in insertion (slot) order."""
+        return [nid for nid, agent in zip(self.ids, self.agents)
+                if agent is not None]
+
+    def values(self) -> List[Any]:
+        return [agent for agent in self.agents if agent is not None]
+
+    def items(self) -> List[Tuple[int, Any]]:
+        return [(nid, agent) for nid, agent in zip(self.ids, self.agents)
+                if agent is not None]
+
+    # ------------------------------------------------------------------
+    # Column write-through (called at protocol transition points)
+    # ------------------------------------------------------------------
+    def note_role(self, node_id: int, role: Optional[str]) -> None:
+        slot = self.slot_of.get(node_id)
+        if slot is not None:
+            self.role_codes[slot] = self._intern_role(role or "")
+
+    def note_address(self, node_id: int, address: Optional[int]) -> None:
+        slot = self.slot_of.get(node_id)
+        if slot is not None:
+            self.addresses[slot] = (
+                NO_ADDRESS if address is None else int(address))
+
+    def note_qdset_size(self, node_id: int, size: int) -> None:
+        slot = self.slot_of.get(node_id)
+        if slot is not None:
+            self.qdset_sizes[slot] = size
+
+    def note_vote_timers(self, node_id: int, count: int) -> None:
+        slot = self.slot_of.get(node_id)
+        if slot is not None:
+            self.vote_timers[slot] = count
+
+    # ------------------------------------------------------------------
+    # Column readers (aggregates without touching agent objects)
+    # ------------------------------------------------------------------
+    def role_of(self, node_id: int) -> str:
+        slot = self.slot_of.get(node_id)
+        return self.role_names[self.role_codes[slot]] if slot is not None else ""
+
+    def address_of(self, node_id: int) -> Optional[int]:
+        slot = self.slot_of.get(node_id)
+        if slot is None:
+            return None
+        address = self.addresses[slot]
+        return None if address == NO_ADDRESS else address
+
+    def qdset_size_of(self, node_id: int) -> int:
+        slot = self.slot_of.get(node_id)
+        return self.qdset_sizes[slot] if slot is not None else 0
+
+    def vote_timers_of(self, node_id: int) -> int:
+        slot = self.slot_of.get(node_id)
+        return self.vote_timers[slot] if slot is not None else 0
+
+    def role_counts(self) -> Dict[str, int]:
+        """Registered agents per role name, array scan only."""
+        counts: Dict[str, int] = {}
+        names = self.role_names
+        for slot, agent in enumerate(self.agents):
+            if agent is None:
+                continue
+            name = names[self.role_codes[slot]]
+            counts[name] = counts.get(name, 0) + 1
+        return counts
+
+    def bound_address_count(self) -> int:
+        """Agents with an address bound (column scan, no method calls)."""
+        addresses = self.addresses
+        return sum(
+            1 for slot, agent in enumerate(self.agents)
+            if agent is not None and addresses[slot] != NO_ADDRESS)
+
+    def qdset_size_total(self) -> int:
+        qdset_sizes = self.qdset_sizes
+        return sum(
+            qdset_sizes[slot] for slot, agent in enumerate(self.agents)
+            if agent is not None)
+
+    def vote_timer_total(self) -> int:
+        vote_timers = self.vote_timers
+        return sum(
+            vote_timers[slot] for slot, agent in enumerate(self.agents)
+            if agent is not None)

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Dict, Optional
 
+from repro.net.agents import AgentStore
 from repro.net.hello import HelloService
 from repro.net.node import Node
 from repro.net.stats import Counters, MessageStats
@@ -60,17 +61,20 @@ class NetworkContext:
         # layers emit structured events here (falsy while nobody
         # subscribes — emission sites gate on that; see repro.obs).
         self.obs: EventBus = transport.obs
-        self.agents: Dict[int, Any] = {}
+        # Struct-of-arrays agent registry: dict-compatible surface plus
+        # denormalized role/address/qdset/vote-timer columns kept in
+        # sync by the note_* write-through hooks (see repro.net.agents).
+        self.agents: AgentStore = AgentStore()
         self.ip_registry: Dict[int, int] = {}  # ip -> node_id
 
     # ------------------------------------------------------------------
     # Agent registry
     # ------------------------------------------------------------------
     def register(self, agent: Any) -> None:
-        self.agents[agent.node.node_id] = agent
+        self.agents.add(agent)
 
     def unregister(self, node_id: int) -> None:
-        self.agents.pop(node_id, None)
+        self.agents.evict(node_id)
 
     def agent_of(self, node_id: int) -> Optional[Any]:
         return self.agents.get(node_id)
@@ -83,9 +87,12 @@ class NetworkContext:
     # ------------------------------------------------------------------
     def bind_ip(self, ip: int, node_id: int) -> None:
         self.ip_registry[ip] = node_id
+        self.agents.note_address(node_id, ip)
 
     def unbind_ip(self, ip: int) -> None:
-        self.ip_registry.pop(ip, None)
+        node_id = self.ip_registry.pop(ip, None)
+        if node_id is not None:
+            self.agents.note_address(node_id, None)
 
     def resolve_ip(self, ip: int) -> Optional[int]:
         return self.ip_registry.get(ip)

@@ -79,8 +79,9 @@ class Message:
         sent_at: simulation time the message was sent.
         msg_id: globally unique message number (debugging/tracing).
             Copies made with :func:`dataclasses.replace` keep their
-            original ``msg_id``; fan-out copies built by the transport
-            (:func:`repro.net.transport.node_msg`) draw a fresh one.
+            original ``msg_id`` — including the transport's flyweight
+            fan-out copies, which are shared by every receiver at the
+            same hop distance (frozen messages make sharing safe).
         corr: correlation id of the configuration transaction this
             message belongs to (``0`` outside any transaction).  Drawn
             from the run's deterministic event-bus counter — see

@@ -151,12 +151,41 @@ class Topology:
     def invalidate(self) -> None:
         """Force a full graph rebuild on the next query.
 
-        Required after out-of-band liveness changes (fault crash /
-        restart flips ``node.alive`` without going through
-        :meth:`remove_node`); plain membership changes use the cheaper
-        incremental path automatically.
+        The blanket hammer for out-of-band changes of *unknown* scope
+        (oracle comparisons, benches that mutate positions directly).
+        Liveness changes with a known blast radius should use
+        :meth:`invalidate_nodes`, which keeps the delta-rebuild path
+        eligible instead of forcing the O(n) full path.
         """
         self._force_full = True
+        self._bfs_cache.clear()
+
+    def invalidate_nodes(self, node_ids: Iterable[int]) -> None:
+        """Node-scoped invalidation for out-of-band liveness changes.
+
+        A fault crash/restart flips ``node.alive`` without going
+        through :meth:`add_node` / :meth:`remove_node`, so the graph
+        must be refreshed — but the *scope* is known: exactly the given
+        nodes changed.  Marking the membership dirty (rather than
+        forcing a full rebuild) lets :meth:`_ensure_graph` take the
+        delta path, which re-derives membership from the alive flags
+        and recomputes only the edges touching the flipped slots.  The
+        result is identical to a full rebuild — the delta path is an
+        exact optimization — but crash/restart churn now costs
+        O(dirty), not O(n) (watch ``graph_node_invalidations`` vs
+        ``graph_full_rebuilds``).
+
+        Ids not present in the store are ignored (the fault may race a
+        departure); an empty iterable is a no-op.
+        """
+        count = 0
+        for node_id in node_ids:
+            if node_id in self._nodes.slot_of:
+                count += 1
+        if count == 0:
+            return
+        self.perf.incr("graph_node_invalidations", count)
+        self._members_dirty = True
         self._bfs_cache.clear()
 
     # ------------------------------------------------------------------

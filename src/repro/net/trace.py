@@ -6,11 +6,10 @@ every send — unicast, 1-hop broadcast or flood — as a typed
 :class:`~repro.obs.events.MessageSend` event.  Used by the Table 1
 reproduction and tests that assert on protocol exchanges.
 
-Because every send flows through the unified
+Every send flows through the unified
 :meth:`~repro.net.transport.Transport.send` endpoint before the bus,
-traffic issued through the deprecated ``unicast`` / ``broadcast_1hop`` /
-``flood`` shims is captured too.  Attachment is explicit and
-reversible, and both context-manager spellings are safe::
+so the tap sees all traffic regardless of scope.  Attachment is
+explicit and reversible, and both context-manager spellings are safe::
 
     with MessageTrace().attach(ctx.transport) as trace:
         ...run...                       # detaches on exit

@@ -18,17 +18,22 @@ Cost model (Section VI-B):
   * a 1-hop broadcast charges 1.
 
 All traffic flows through the single endpoint :meth:`Transport.send`,
-which returns a :class:`SendOutcome`.  The legacy ``unicast`` /
-``broadcast_1hop`` / ``flood`` methods survive as thin deprecation
-shims (see docs/API.md for the removal timeline).
+which returns a :class:`SendOutcome`.  The pre-``send()`` surface
+(``unicast`` / ``broadcast_1hop`` / ``flood``) was removed after its
+deprecation window — the ``send-api`` lint rule now rejects any caller
+(see docs/API.md for the migration table).
+
+Fan-out deliveries are *flyweight*: :class:`Message` is frozen, so one
+delivered copy per distinct hop distance is shared by every receiver at
+that distance — a 1-hop broadcast to 30 neighbors delivers one object,
+not 30 copies (``msg_fanout_shared`` counter).
 """
 
 from __future__ import annotations
 
 import dataclasses
 import enum
-import warnings
-from typing import TYPE_CHECKING, Callable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 from repro.net.message import Message
 from repro.net.node import Node
@@ -106,41 +111,6 @@ class SendOutcome:
 
     def receiver_ids(self) -> List[int]:
         return [node_id for node_id, _hops in self.receivers]
-
-
-@dataclasses.dataclass(frozen=True)
-class Delivery:
-    """Legacy outcome of a unicast (kept for the deprecation shims)."""
-
-    __slots__ = ("ok", "hops")
-
-    ok: bool
-    hops: int
-
-    def __reduce__(self):
-        return (self.__class__, (self.ok, self.hops))
-
-
-@dataclasses.dataclass(frozen=True)
-class FloodResult:
-    """Legacy outcome of a flood: who got it and what it cost."""
-
-    __slots__ = ("receivers", "cost_hops", "eccentricity")
-
-    receivers: Tuple[Tuple[int, int], ...]  # (node_id, hops)
-    cost_hops: int
-    eccentricity: int
-
-    def __reduce__(self):
-        return (self.__class__, (self.receivers, self.cost_hops,
-                                 self.eccentricity))
-
-
-def _deprecated(old: str) -> None:
-    warnings.warn(
-        f"Transport.{old}() is deprecated; use Transport.send(..., "
-        "scope=...) instead (see docs/API.md for the timeline)",
-        DeprecationWarning, stacklevel=3)
 
 
 class Transport:
@@ -296,8 +266,12 @@ class Transport:
                 self.stats.record_drop(category)
                 continue
             receivers.append((nid, 1))
-            delivered = dataclasses.replace(node_msg(msg), hops=1)
-            self._schedule_delivery(self.per_hop_delay, node, delivered)
+            # Flyweight fan-out: every neighbor is at hop distance 1
+            # and ``msg`` already carries hops=1, so the frozen message
+            # itself is shared by all receivers — no per-receiver copy.
+            self._schedule_delivery(self.per_hop_delay, node, msg)
+        if len(receivers) > 1:
+            self.perf.incr("msg_fanout_shared", len(receivers) - 1)
         return SendOutcome(True, 0, tuple(receivers), 1,
                            1 if receivers else 0, dropped)
 
@@ -321,6 +295,11 @@ class Transport:
         forwarders = 1  # the source transmits once
         eccentricity = 0
         dropped = 0
+        # Flyweight fan-out: one delivered copy per distinct hop
+        # distance, shared by every receiver at that distance (frozen
+        # messages make sharing safe).
+        copies: Dict[int, Message] = {}
+        delivered_count = 0
         for nid, hops in reachable.items():
             if nid == src.node_id or hops == 0:
                 continue
@@ -343,67 +322,16 @@ class Transport:
             receivers.append((nid, hops))
             eccentricity = max(eccentricity, hops)
             if accept is None or accept(node):
-                delivered = dataclasses.replace(node_msg(msg), hops=hops)
+                delivered = copies.get(hops)
+                if delivered is None:
+                    delivered = dataclasses.replace(msg, hops=hops)
+                    copies[hops] = delivered
+                delivered_count += 1
                 self._schedule_delivery(
                     hops * self.per_hop_delay, node, delivered)
+        if delivered_count > len(copies):
+            self.perf.incr("msg_fanout_shared",
+                           delivered_count - len(copies))
         self.stats.charge(category, forwarders, messages=forwarders)
         return SendOutcome(True, 0, tuple(receivers), forwarders,
                            eccentricity, dropped)
-
-    # ------------------------------------------------------------------
-    # Deprecated pre-SendOutcome surface (thin shims over send())
-    # ------------------------------------------------------------------
-    def unicast(
-        self,
-        src: Node,
-        dst: Node,
-        msg: Message,
-        category: Category,
-    ) -> Delivery:
-        """Deprecated: use ``send(src, dst, msg, category=..., scope=Scope.UNICAST)``."""
-        _deprecated("unicast")
-        outcome = self.send(src, dst, msg, category=category,
-                            scope=Scope.UNICAST)
-        return Delivery(outcome.ok, outcome.hops)
-
-    def broadcast_1hop(
-        self,
-        src: Node,
-        msg: Message,
-        category: Category,
-    ) -> List[int]:
-        """Deprecated: use ``send(src, None, msg, category=..., scope=Scope.NEIGHBORS)``."""
-        _deprecated("broadcast_1hop")
-        outcome = self.send(src, None, msg, category=category,
-                            scope=Scope.NEIGHBORS)
-        return outcome.receiver_ids()
-
-    def flood(
-        self,
-        src: Node,
-        msg: Message,
-        category: Category,
-        max_hops: Optional[int] = None,
-        accept: Optional[Callable[[Node], bool]] = None,
-    ) -> FloodResult:
-        """Deprecated: use ``send(src, None, msg, category=..., scope=Scope.FLOOD)``."""
-        _deprecated("flood")
-        outcome = self.send(src, None, msg, category=category,
-                            scope=Scope.FLOOD, max_hops=max_hops,
-                            accept=accept)
-        return FloodResult(outcome.receivers, outcome.cost_hops,
-                           outcome.eccentricity)
-
-
-def node_msg(msg: Message) -> Message:
-    """Shallow-copy a message for fan-out delivery (fresh msg_id kept)."""
-    return Message(
-        mtype=msg.mtype,
-        src=msg.src,
-        dst=msg.dst,
-        payload=msg.payload,
-        network_id=msg.network_id,
-        hops=msg.hops,
-        sent_at=msg.sent_at,
-        corr=msg.corr,
-    )

@@ -184,7 +184,7 @@ def check_regression(payload: Dict[str, Any], baseline: Dict[str, Any],
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point (``repro bench``).
 
-    ``--scale`` switches to the n-scaling matrix (1k/10k populations,
+    ``--scale`` switches to the n-scaling matrix (1k/10k/50k populations,
     no oracle), handled by :mod:`repro.perf.scale`; the remaining flags
     are forwarded and take that mode's defaults (notably ``--out`` /
     ``--baseline`` default to the repo-root ``BENCH_scale.json``).

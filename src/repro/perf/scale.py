@@ -2,12 +2,13 @@
 
 Where :mod:`repro.perf.bench` measures the engine against its networkx
 oracle at a few hundred nodes, this module measures how the engine
-itself scales: a constant-density population is grown to n=1k and
-n=10k (the oracle is far too slow to ride along) and a fixed workload
-of graph refreshes, bounded hop queries, component floods and timer
-churn is replayed at every size.  The output answers the question the
-paper never could — what does a quorum-style topology service cost two
-orders of magnitude past the evaluation sizes?
+itself scales: a constant-density population is grown to n=1k, n=10k
+and n=50k (the oracle is far too slow to ride along) and a fixed
+workload of graph refreshes, bounded hop queries, component floods,
+timer churn and crash/restart fault churn is replayed at every size.
+The output answers the question the paper never could — what does a
+quorum-style topology service cost more than two orders of magnitude
+past the evaluation sizes?
 
 Design choices that keep the curve honest:
 
@@ -22,6 +23,14 @@ Design choices that keep the curve honest:
   and it mirrors the paper's settled-network steady state.  The
   ``graph_positions_recomputed`` / ``graph_shards_touched`` counters
   in the payload show both optimizations doing their work.
+
+* **Node-scoped fault churn.**  A crash/restart phase flips a fixed
+  slice of the population dead and alive again, invalidating through
+  :meth:`~repro.net.topology.Topology.invalidate_nodes`.  Its counter
+  deltas (the ``churn`` section) isolate what a restart storm costs:
+  delta rebuilds sized by the churned slice, with the
+  ``graph_shards_touched`` delta staying far below the shard count —
+  the regime blanket ``invalidate()`` could never reach.
 
 * **Deterministic gate, informational wall clock.**  Every ``wall``
   number varies per machine and is never compared.  The regression
@@ -53,12 +62,12 @@ from repro.perf import PerfRecorder
 from repro.sim.engine import Simulator
 from repro.sim.rng import generator_from_seed
 
-SCALE_SCHEMA_VERSION = 1
+SCALE_SCHEMA_VERSION = 2
 DEFAULT_SCALE_BASELINE = Path("BENCH_scale.json")
 DEFAULT_SCALE_TOLERANCE = 0.25
 
 #: The committed curve measures these sizes; CI's quick smoke stops at 1k.
-SCALE_SIZES_FULL = (1000, 10000)
+SCALE_SIZES_FULL = (1000, 10000, 50000)
 SCALE_SIZES_QUICK = (1000,)
 
 #: Nodes per square meter.  4e-4 with a 150 m transmission range gives an
@@ -84,6 +93,15 @@ FLOOD_SOURCES = 4
 #: Timer-churn load per round: this many schedule+cancel pairs, which is
 #: what pushes the event heap into its compaction regime at scale.
 CHURN_TIMERS = 2000
+
+#: Fault-churn phase: this many nodes crash and restart per churn round.
+#: The phase measures the node-scoped invalidation path
+#: (:meth:`repro.net.topology.Topology.invalidate_nodes`): each
+#: crash/restart batch must be absorbed by a delta rebuild whose
+#: ``graph_shards_touched`` delta stays far below the shard count,
+#: instead of the full-rebuild cost a blanket ``invalidate()`` forces.
+CHURN_NODES = 64
+CHURN_FAULT_ROUNDS = 3
 
 #: Same round count in both modes — the quick (n=1k only) smoke must be
 #: counter-comparable with the committed full-matrix baseline.
@@ -156,6 +174,46 @@ def _run_size(n: int, *, seed: int, rounds: int) -> Dict[str, Any]:
             handle = sim.schedule(100.0 + i, lambda: None)
             sim.cancel(handle)
 
+    # Fault-churn phase: crash a slice of the population, rebuild, then
+    # restart it and rebuild again, per round.  Simulated time does not
+    # advance, so every counter delta below is attributable to the
+    # churn alone — mobility contributes nothing.  The graph ends each
+    # round exactly where it started (everyone restarts in place),
+    # keeping the structural facts below churn-independent.
+    #
+    # The churned slice is a localized outage — the stationary nodes
+    # nearest the area center — because that is the case node-scoped
+    # invalidation exists for: the dirty set maps to a handful of grid
+    # shards, so the ``graph_shards_touched`` delta stays far below the
+    # shard count no matter how large the population grows.
+    center = side / 2.0
+    churn_targets = sorted(
+        (node for node in nodes if node.mobility.speed() == 0.0),
+        key=lambda node: (
+            (node.mobility.position(0.0).x - center) ** 2
+            + (node.mobility.position(0.0).y - center) ** 2,
+            node.node_id,
+        ))[:CHURN_NODES]
+    churn_before = perf.counters_snapshot()
+    churn_s = 0.0
+    for _ in range(CHURN_FAULT_ROUNDS):
+        start = time.perf_counter()
+        for node in churn_targets:
+            node.kill()
+        topo.invalidate_nodes(node.node_id for node in churn_targets)
+        topo.neighbors(ids[0])
+        for node in churn_targets:
+            node.alive = True
+        topo.invalidate_nodes(node.node_id for node in churn_targets)
+        topo.neighbors(ids[0])
+        churn_s += time.perf_counter() - start
+    churn_after = perf.counters_snapshot()
+    churn_delta = {
+        name: churn_after.get(name, 0) - churn_before.get(name, 0)
+        for name in sorted(churn_after)
+        if churn_after.get(name, 0) != churn_before.get(name, 0)
+    }
+
     components = topo.components()
     cell: Dict[str, Any] = {
         "n": n,
@@ -177,6 +235,12 @@ def _run_size(n: int, *, seed: int, rounds: int) -> Dict[str, Any]:
             "compactions": sim.compactions,
             "final_size": sim.heap_size,
             "final_pending": sim.pending_events,
+        },
+        "churn": {
+            "rounds": CHURN_FAULT_ROUNDS,
+            "nodes_per_round": len(churn_targets),
+            "wall": {"round_s_mean": churn_s / CHURN_FAULT_ROUNDS},
+            "counters_delta": churn_delta,
         },
         "counters": perf.counters_snapshot(),
     }
@@ -207,10 +271,11 @@ def check_scale_regression(
     """Gate a scale run against the committed baseline.
 
     Only sizes present in *both* payloads are compared (CI's quick run
-    covers n=1k of a 1k/10k baseline).  Structural graph facts must
+    covers n=1k of a 1k/10k/50k baseline).  Structural graph facts must
     match exactly — same seed, same engine, same graph — while perf
-    counters may grow up to ``tolerance``; dropping below baseline is
-    an improvement, never a failure.  Wall clock is never compared.
+    counters (including the fault-churn deltas) may grow up to
+    ``tolerance``; dropping below baseline is an improvement, never a
+    failure.  Wall clock is never compared.
     """
     failures: List[str] = []
     for size, base_cell in baseline.get("sizes", {}).items():
@@ -236,6 +301,26 @@ def check_scale_regression(
                     f"n={size}: {counter} regressed {base_value} -> {value} "
                     f"(+{(value / base_value - 1):.0%}, "
                     f"budget +{tolerance:.0%})")
+        base_churn = base_cell.get("churn", {})
+        churn = cell.get("churn", {})
+        if base_churn:
+            for fact in ("rounds", "nodes_per_round"):
+                if churn.get(fact) != base_churn.get(fact):
+                    failures.append(
+                        f"n={size}: churn {fact} differ "
+                        f"({base_churn.get(fact)} vs {churn.get(fact)}); "
+                        "churn deltas are not comparable")
+                    break
+            else:
+                for counter, base_value in base_churn.get(
+                        "counters_delta", {}).items():
+                    value = churn.get("counters_delta", {}).get(counter, 0)
+                    if base_value > 0 and value > base_value * (1 + tolerance):
+                        failures.append(
+                            f"n={size}: churn {counter} regressed "
+                            f"{base_value} -> {value} "
+                            f"(+{(value / base_value - 1):.0%}, "
+                            f"budget +{tolerance:.0%})")
     return failures
 
 
@@ -245,7 +330,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     parser = argparse.ArgumentParser(
         prog="repro bench --scale",
-        description="n-scaling curve (1k/10k) -> BENCH_scale.json")
+        description="n-scaling curve (1k/10k/50k) -> BENCH_scale.json")
     parser.add_argument("--quick", action="store_true",
                         help="n=1k only (CI scale smoke)")
     parser.add_argument("--out", default=str(DEFAULT_SCALE_BASELINE),

@@ -11,6 +11,7 @@ from repro.experiments.sweep import (
     RunCache,
     RunSpec,
     SweepExecutor,
+    SweepSummary,
     derive_seeds,
     execute_spec,
     expand_grid,
@@ -199,6 +200,97 @@ def test_sweep_over_seeds_matches_direct_runs():
         executor=SweepExecutor(workers=1))
     direct = [execute_spec(RunSpec("quorum", tiny(seed=s))) for s in (1, 2)]
     assert results == direct
+
+
+# ---------------------------------------------------------------------------
+# Streaming: spec-order cells, incremental folds, byte-identity
+# ---------------------------------------------------------------------------
+def test_stream_yields_cells_in_spec_order_parallel():
+    specs = tiny_specs()
+    cells = list(SweepExecutor(workers=2).stream(specs))
+    assert [c.index for c in cells] == list(range(len(specs)))
+    assert [c.spec for c in cells] == specs
+    assert [c.result for c in cells] == SweepExecutor(
+        workers=1).run(specs).results
+
+
+def test_streamed_summary_byte_identical_to_materialized():
+    specs = tiny_specs()
+    streamed = SweepSummary()
+    for cell in SweepExecutor(workers=1).stream(specs):
+        streamed.fold(cell)
+    materialized = SweepExecutor(workers=2).run(specs).summary()
+    assert streamed.to_json() == materialized.to_json()
+
+
+def test_streamed_summary_with_cache_hits_byte_identical(tmp_path):
+    specs = tiny_specs(protocols=("quorum",), seeds=(1, 2))
+    SweepExecutor(workers=1, cache_dir=tmp_path).run(specs)  # prime
+    streamed = SweepSummary()
+    for cell in SweepExecutor(workers=1, cache_dir=tmp_path).stream(specs):
+        streamed.fold(cell)
+    assert streamed.cached == len(specs)
+    materialized = SweepExecutor(
+        workers=1, cache_dir=tmp_path).run(specs).summary()
+    assert streamed.to_json() == materialized.to_json()
+
+
+def test_report_stream_replays_and_summary_matches_aggregates():
+    specs = tiny_specs(protocols=("quorum",), seeds=(1,))
+    report = SweepExecutor(workers=1).run(specs)
+    cells = list(report.stream())
+    assert [c.result for c in cells] == report.results
+    folded = SweepSummary()
+    for cell in cells:
+        folded.fold(cell)
+    assert folded.to_json() == report.summary().to_json()
+    # The fold surface mirrors the report's aggregates byte for byte.
+    for fold_value, report_value in (
+            (folded.perf_totals(), report.perf_totals()),
+            (folded.obs_histogram_totals(), report.obs_histogram_totals()),
+            (folded.obs_span_totals(), report.obs_span_totals()),
+            (folded.cache_hit_rate(), report.cache_hit_rate())):
+        assert json.dumps(fold_value) == json.dumps(report_value)
+
+
+def test_abandoned_stream_shuts_down_cleanly():
+    specs = tiny_specs()
+    stream = SweepExecutor(workers=2).stream(specs)
+    first = next(stream)
+    assert first.index == 0
+    stream.close()  # must cancel the rest without hanging or raising
+
+
+def test_stream_byte_identity_at_1000_cells(monkeypatch):
+    """The streaming contract at the scale it exists for: 1000 cells
+    through the real executor and fold machinery.  The simulation body
+    is stubbed to a cheap deterministic result — a full 1000-cell
+    protocol grid is minutes of compute, and the machinery under test
+    (ordering, folding, serialization) is identical either way."""
+    import repro.experiments.sweep as sweep_mod
+
+    def fake(spec):
+        seed = spec.scenario.seed
+        return RunResult(
+            protocol=spec.protocol, num_nodes=spec.scenario.num_nodes,
+            duration=1.0, outcomes=[], stats_hops={"CONFIG": seed},
+            stats_msgs={}, deaths=[], graceful_departures=0,
+            abrupt_departures=0,
+            perf_counters={"bfs_calls": seed, "graph_rebuilds": seed % 7},
+            obs_spans={"completed": 1 + seed % 3},
+        )
+
+    monkeypatch.setattr(sweep_mod, "execute_spec", fake)
+    scenarios = [tiny(seed=s) for s in range(1, 501)]
+    specs = expand_grid(["quorum", "dad"], scenarios)
+    assert len(specs) == 1000
+    streamed = SweepSummary()
+    for cell in SweepExecutor(workers=1).stream(specs):
+        streamed.fold(cell)
+    materialized = SweepExecutor(workers=1).run(specs).summary()
+    assert streamed.cells == 1000
+    assert streamed.to_json() == materialized.to_json()
+    assert streamed.perf_totals()["bfs_calls"] == 2 * sum(range(1, 501))
 
 
 def test_expand_grid_order_and_configs():

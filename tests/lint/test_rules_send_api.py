@@ -1,12 +1,14 @@
-"""send-api rule: the deprecated Transport shims stay dead in-repo.
+"""send-api rule: the removed Transport surface stays dead in-repo.
 
 This is the AST-based replacement for the old regex grep
 (tests/net/test_no_deprecated_callers.py pre-PR-4 and the CI
-deprecation-grep job).
+deprecation-grep job).  Since the shims were deleted the rule has no
+exempt module: any ``unicast``/``broadcast_1hop``/``flood`` call is a
+hard error anywhere, including ``repro.net.transport`` itself.
 """
 
 
-def test_each_deprecated_method_flagged(tree):
+def test_each_removed_method_flagged(tree):
     tree.write("src/repro/core/bad.py", """\
         def go(transport, src, dst, msg, cat):
             transport.unicast(src, dst, msg, cat)
@@ -30,16 +32,17 @@ def test_examples_and_benchmarks_in_scope(tree):
     assert len(tree.findings(select={"send-api"})) == 2
 
 
-def test_shim_module_itself_exempt(tree):
+def test_transport_module_no_longer_exempt(tree):
+    # Pre-removal the shim module hosted the legacy methods and was
+    # exempt; with the shims gone even repro.net.transport is flagged.
     tree.write("src/repro/net/transport.py", """\
         class Transport:
-            def unicast(self, src, dst, msg, category):
-                return self.send(src, dst, msg, category=category)
-
             def retry(self, src, dst, msg, category):
                 return self.unicast(src, dst, msg, category)
         """)
-    assert tree.findings(select={"send-api"}) == []
+    findings = tree.findings(select={"send-api"})
+    assert len(findings) == 1
+    assert findings[0].line == 3
 
 
 def test_send_endpoint_not_flagged(tree):

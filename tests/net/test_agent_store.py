@@ -1,0 +1,240 @@
+"""AgentStore: SoA agent registry — dict surface, columns, compaction.
+
+The compaction discipline must mirror :class:`repro.net.store.NodeStore`
+(same thresholds, same tombstone bookkeeping, same layout_version
+contract) so everything the scale layer learned about slot references
+applies to both stores unchanged.
+"""
+
+import pytest
+
+from repro.geometry import Point
+from repro.mobility.base import Stationary
+from repro.net.agents import NO_ADDRESS, AgentStore
+from repro.net.node import Node
+from repro.net.store import COMPACT_MIN_SLOTS, NodeStore
+
+
+class FakeRole:
+    def __init__(self, value):
+        self.value = value
+
+
+class FakeAgent:
+    """The duck type AgentStore snapshots: .node, .role, .ip."""
+
+    def __init__(self, node_id, role=None, ip=None):
+        self.node = Node(node_id, Stationary(Point(0.0, 0.0)))
+        if role is not None:
+            self.role = FakeRole(role)
+        self.ip = ip
+
+
+def make_store(n, **kw):
+    store = AgentStore()
+    for i in range(n):
+        store.add(FakeAgent(i, **kw))
+    return store
+
+
+# ---------------------------------------------------------------------------
+# Dict-compatible registry surface
+# ---------------------------------------------------------------------------
+def test_registry_surface_matches_dict_semantics():
+    store = AgentStore()
+    a, b = FakeAgent(7), FakeAgent(3)
+    store.add(a)
+    store[3] = b
+    assert len(store) == 2
+    assert 7 in store and 3 in store and 99 not in store
+    assert store[7] is a and store.get(3) is b
+    assert store.get(99, "dflt") == "dflt"
+    with pytest.raises(KeyError):
+        store[99]
+    # Insertion (slot) order, like the dict it replaces.
+    assert list(store) == [7, 3]
+    assert store.keys() == [7, 3]
+    assert store.values() == [a, b]
+    assert store.items() == [(7, a), (3, b)]
+
+
+def test_setitem_rejects_mismatched_id():
+    store = AgentStore()
+    with pytest.raises(ValueError):
+        store[5] = FakeAgent(6)
+
+
+def test_reregistering_replaces_in_place():
+    store = AgentStore()
+    old, new = FakeAgent(1, role="head", ip=42), FakeAgent(1)
+    slot = store.add(old)
+    assert store.role_of(1) == "head" and store.address_of(1) == 42
+    assert store.add(new) == slot  # same slot, dict overwrite semantics
+    assert store[1] is new
+    assert len(store) == 1
+    # Columns re-snapshot from the replacement agent.
+    assert store.role_of(1) == "" and store.address_of(1) is None
+
+
+def test_pop_evicts_and_returns():
+    store = AgentStore()
+    agent = FakeAgent(4)
+    store.add(agent)
+    assert store.pop(4) is agent
+    assert store.pop(4, "gone") == "gone"
+    assert 4 not in store and len(store) == 0
+
+
+# ---------------------------------------------------------------------------
+# Eviction, tombstones, compaction — NodeStore parity
+# ---------------------------------------------------------------------------
+def test_evict_tombstones_without_moving_slots():
+    store = make_store(4)
+    assert store.evict(1)
+    assert not store.evict(1)  # already gone
+    assert len(store) == 3
+    assert store.capacity == 4  # tombstone keeps the slot space
+    assert store.tombstones == 1
+    assert store.keys() == [0, 2, 3]
+    assert store.layout_version == 0  # no compaction yet
+
+
+def test_compaction_preserves_order_and_bumps_layout():
+    store = make_store(COMPACT_MIN_SLOTS)
+    survivors = [i for i in range(2, COMPACT_MIN_SLOTS, 2)]
+    for i in range(COMPACT_MIN_SLOTS):
+        if i % 2 == 1:
+            store.evict(i)
+    assert store.layout_version == 0  # exactly half: threshold is strict
+    store.evict(0)
+    # Strictly more than half the slot space tombstoned => compacted.
+    assert store.layout_version == 1
+    assert store.tombstones == 0
+    assert store.capacity == len(survivors)
+    assert store.keys() == survivors
+    assert all(store.slot_of[nid] == rank
+               for rank, nid in enumerate(survivors))
+
+
+def test_compaction_scrubs_column_state():
+    store = AgentStore()
+    for i in range(COMPACT_MIN_SLOTS):
+        store.add(FakeAgent(i, role="common", ip=100 + i))
+    for i in range(COMPACT_MIN_SLOTS):
+        if i % 2 == 1:
+            store.evict(i)
+    store.compact()
+    # Columns survive for the survivors, tombstone entries are gone.
+    assert store.role_counts() == {"common": COMPACT_MIN_SLOTS // 2}
+    assert store.bound_address_count() == COMPACT_MIN_SLOTS // 2
+    assert store.address_of(0) == 100
+    assert store.address_of(1) is None
+
+
+def test_compaction_thresholds_match_node_store():
+    """Same churn sequence => same compaction points as NodeStore."""
+    agent_store = AgentStore()
+    node_store = NodeStore()
+    n = COMPACT_MIN_SLOTS * 2
+    for i in range(n):
+        agent_store.add(FakeAgent(i))
+        node_store.add(Node(i, Stationary(Point(0.0, 0.0))))
+    for i in range(n):
+        agent_store.evict(i)
+        node_store.evict(i)
+        assert agent_store.layout_version == node_store.layout_version, i
+        assert agent_store.tombstones == node_store.tombstones, i
+        assert agent_store.capacity == node_store.capacity, i
+
+
+def test_churn_through_many_compactions_stays_consistent():
+    store = AgentStore()
+    alive = set()
+    next_id = 0
+    for _ in range(COMPACT_MIN_SLOTS):
+        for _ in range(3):
+            store.add(FakeAgent(next_id, ip=next_id))
+            alive.add(next_id)
+            next_id += 1
+        victim = min(alive)
+        store.evict(victim)
+        alive.remove(victim)
+    assert len(store) == len(alive)
+    assert set(store.keys()) == alive
+    assert store.keys() == sorted(store.keys())  # insertion order kept
+    assert store.bound_address_count() == len(alive)
+    for nid in alive:
+        assert store.address_of(nid) == nid
+
+
+# ---------------------------------------------------------------------------
+# Columns: snapshot, write-through, aggregate readers
+# ---------------------------------------------------------------------------
+def test_add_snapshots_role_and_address_from_agent():
+    store = AgentStore()
+    store.add(FakeAgent(1, role="head", ip=7))
+    store.add(FakeAgent(2))
+    assert store.role_of(1) == "head" and store.address_of(1) == 7
+    assert store.role_of(2) == "" and store.address_of(2) is None
+    assert store.addresses[store.slot_of[2]] == NO_ADDRESS
+
+
+def test_note_writes_through_and_missing_ids_noop():
+    store = make_store(2)
+    store.note_role(0, "head")
+    store.note_address(0, 9)
+    store.note_qdset_size(0, 5)
+    store.note_vote_timers(0, 2)
+    assert store.role_of(0) == "head"
+    assert store.address_of(0) == 9
+    assert store.qdset_size_of(0) == 5
+    assert store.vote_timers_of(0) == 2
+    # Clearing spellings.
+    store.note_role(0, None)
+    store.note_address(0, None)
+    assert store.role_of(0) == "" and store.address_of(0) is None
+    # Unknown ids are silently ignored (agents can be unregistered
+    # while protocol timers still fire).
+    store.note_role(99, "head")
+    store.note_address(99, 1)
+    store.note_qdset_size(99, 1)
+    store.note_vote_timers(99, 1)
+    assert store.role_of(99) == "" and store.address_of(99) is None
+    assert store.qdset_size_of(99) == 0 and store.vote_timers_of(99) == 0
+
+
+def test_aggregate_readers_scan_columns():
+    store = AgentStore()
+    for i in range(6):
+        store.add(FakeAgent(i))
+    for i in range(6):
+        store.note_role(i, "head" if i < 2 else "common")
+        store.note_qdset_size(i, i)
+        store.note_vote_timers(i, 1)
+    store.note_address(0, 10)
+    store.note_address(1, 11)
+    assert store.role_counts() == {"head": 2, "common": 4}
+    assert store.bound_address_count() == 2
+    assert store.qdset_size_total() == sum(range(6))
+    assert store.vote_timer_total() == 6
+    # Eviction removes the slot from every aggregate.
+    store.evict(1)
+    assert store.role_counts() == {"head": 1, "common": 4}
+    assert store.bound_address_count() == 1
+    assert store.vote_timer_total() == 5
+
+
+def test_role_interning_reuses_codes():
+    store = make_store(3)
+    for nid in (0, 1, 2):
+        store.note_role(nid, "common")
+    assert store.role_names.count("common") == 1
+    assert len(store.role_names) == 2  # "" + "common"
+
+
+def test_role_vocabulary_bounded():
+    store = AgentStore()
+    store.add(FakeAgent(0))
+    with pytest.raises(ValueError):
+        for i in range(300):
+            store.note_role(0, f"role-{i}")

@@ -1,14 +1,12 @@
-"""Tier-1 lint: no in-repo caller may use the deprecated Transport API.
+"""Tier-1 lint: no caller may use the removed Transport API.
 
-``Transport.unicast`` / ``broadcast_1hop`` / ``flood`` survive only as
-deprecation shims for downstream users; everything in ``src/``,
-``examples/`` and ``benchmarks/`` must go through the unified
-``Transport.send`` endpoint.  Since PR 4 the check is the analyzer's
+``Transport.unicast`` / ``broadcast_1hop`` / ``flood`` were deprecated
+in PR 2 and deleted once the window closed; everything must go through
+the unified ``Transport.send`` endpoint.  The check is the analyzer's
 ``send-api`` rule (``repro lint --select send-api``) — AST-based, so
-docstrings and string literals mentioning the old names no longer trip
-it the way the old regex grep could.  (Tests under ``tests/net``
-deliberately exercise the shims and are exempt because only the
-runtime roots are scanned.)
+docstrings and string literals mentioning the old names do not trip it
+— now a hard error with no exempt module, scanned over the runtime
+roots *and* the test tree.
 """
 
 from pathlib import Path
@@ -16,7 +14,7 @@ from pathlib import Path
 from repro.lint import run_lint
 
 REPO = Path(__file__).resolve().parents[2]
-SCANNED_ROOTS = ("src", "examples", "benchmarks")
+SCANNED_ROOTS = ("src", "examples", "benchmarks", "tests")
 
 
 def test_no_deprecated_transport_callers():
@@ -28,5 +26,5 @@ def test_no_deprecated_transport_callers():
     assert report.parse_errors == ()
     rendered = "\n".join(f.render() for f in report.findings)
     assert report.findings == (), (
-        "deprecated Transport.unicast/broadcast_1hop/flood calls found "
+        "removed Transport.unicast/broadcast_1hop/flood calls found "
         "(use Transport.send(..., scope=...)):\n" + rendered)

@@ -1,7 +1,6 @@
-"""Tests for the unified Transport.send endpoint and its legacy shims."""
+"""Tests for the unified Transport.send endpoint (the only send surface)."""
 
 import pickle
-import warnings
 
 import pytest
 
@@ -9,7 +8,7 @@ from repro.geometry import Point
 from repro.mobility.base import Stationary
 from repro.net import Category, Message, Node, Scope, SendOutcome
 from repro.net.context import NetworkContext
-from repro.net.transport import Delivery, FloodResult
+from repro.net import transport as transport_module
 
 
 class Recorder:
@@ -107,56 +106,9 @@ def test_outcome_is_frozen_slotted_and_picklable():
     assert pickle.loads(pickle.dumps(outcome)) == outcome
 
 
-def test_legacy_results_are_frozen_and_picklable():
-    delivery = Delivery(True, 3)
-    flood = FloodResult(((1, 1),), 2, 1)
-    for obj in (delivery, flood):
-        assert not hasattr(obj, "__dict__")
-        assert pickle.loads(pickle.dumps(obj)) == obj
-    with pytest.raises(Exception):
-        delivery.hops = 9
-    with pytest.raises(Exception):
-        flood.cost_hops = 9
-
-
-# ---------------------------------------------------------------------------
-# Deprecation shims
-# ---------------------------------------------------------------------------
-def test_unicast_shim_warns_and_adapts():
-    ctx, nodes = make_net()
-    with pytest.deprecated_call(match="Transport.unicast"):
-        delivery = ctx.transport.unicast(
-            nodes[0], nodes[2], Message("PING", 0, 2), Category.CONFIG)
-    assert isinstance(delivery, Delivery)
-    assert delivery.ok and delivery.hops == 2
-
-
-def test_broadcast_shim_warns_and_adapts():
-    ctx, nodes = make_net()
-    with pytest.deprecated_call(match="Transport.broadcast_1hop"):
-        receivers = ctx.transport.broadcast_1hop(
-            nodes[1], Message("HELLO", 1, None), Category.CONFIG)
-    assert sorted(receivers) == [0, 2]
-
-
-def test_flood_shim_warns_and_adapts():
-    ctx, nodes = make_net()
-    with pytest.deprecated_call(match="Transport.flood"):
-        result = ctx.transport.flood(
-            nodes[0], Message("WAVE", 0, None), Category.RECLAMATION)
-    assert isinstance(result, FloodResult)
-    assert sorted(result.receivers) == [(1, 1), (2, 2), (3, 3)]
-
-
-def test_shim_equivalent_to_send():
-    ctx, nodes = make_net()
-    direct = ctx.transport.send(nodes[0], nodes[3], Message("A", 0, 3),
-                                category=Category.CONFIG)
-    with warnings.catch_warnings():
-        warnings.simplefilter("ignore", DeprecationWarning)
-        shimmed = ctx.transport.unicast(nodes[0], nodes[3],
-                                        Message("B", 0, 3), Category.CONFIG)
-    assert (shimmed.ok, shimmed.hops) == (direct.ok, direct.hops)
-    # Both charged the same cost path.
-    hops, msgs = ctx.stats.snapshot()["config"]
-    assert hops == 6 and msgs == 2
+def test_legacy_surface_is_gone():
+    """The PR 2 deprecation shims were removed after their window."""
+    for name in ("unicast", "broadcast_1hop", "flood"):
+        assert not hasattr(transport_module.Transport, name)
+    for name in ("Delivery", "FloodResult", "node_msg"):
+        assert not hasattr(transport_module, name)

@@ -190,3 +190,100 @@ def test_within_hops_after_deeper_cached_query():
     topo.reachable(0)  # caches the full component walk
     assert sorted(topo.within_hops(0, 2)) == [(1, 1), (2, 2)]
     assert topo.reachable(0, max_hops=1) == {0: 0, 1: 1}
+
+
+# ---------------------------------------------------------------------------
+# Node-scoped invalidation (the crash/restart churn path)
+# ---------------------------------------------------------------------------
+# Long enough that one flipped node stays under the 25% dirty-fraction
+# ceiling the delta path enforces (1 dirty of 7 alive).
+CHAIN = [(100 * i, 0) for i in range(8)]
+LAST = len(CHAIN) - 1
+
+
+def counters(topo):
+    return topo.perf.counters_snapshot()
+
+
+def test_invalidate_nodes_equivalent_to_blanket_invalidate():
+    """The delta path is an exact optimization: same graph either way."""
+    _, scoped = make_topology(CHAIN)
+    _, blanket = make_topology(CHAIN)
+    for topo in (scoped, blanket):
+        assert topo.hops(0, LAST) == LAST  # initial full build
+    scoped.get(1).kill()
+    scoped.invalidate_nodes([1])
+    blanket.get(1).kill()
+    blanket.invalidate()
+    assert list(scoped.edges()) == list(blanket.edges())
+    assert scoped.hops(0, LAST) is None and blanket.hops(0, LAST) is None
+    # ...but only the blanket spelling paid for a second full rebuild.
+    assert counters(scoped)["graph_full_rebuilds"] == 1
+    assert counters(blanket)["graph_full_rebuilds"] == 2
+    assert counters(scoped)["graph_delta_rebuilds"] == 1
+
+
+def test_crash_restart_round_trip_rides_the_delta_path():
+    _, topo = make_topology(CHAIN)
+    assert topo.hops(0, LAST) == LAST
+    base = counters(topo)
+    topo.get(1).kill()
+    topo.invalidate_nodes([1])
+    assert topo.hops(0, LAST) is None
+    topo.get(1).alive = True
+    topo.invalidate_nodes([1])
+    assert topo.hops(0, LAST) == LAST
+    after = counters(topo)
+    assert after["graph_node_invalidations"] - base.get(
+        "graph_node_invalidations", 0) == 2
+    assert after["graph_delta_rebuilds"] - base.get(
+        "graph_delta_rebuilds", 0) == 2
+    assert after["graph_full_rebuilds"] == base["graph_full_rebuilds"]
+
+
+def test_invalidate_nodes_unknown_ids_are_noops():
+    _, topo = make_topology(CHAIN)
+    assert topo.hops(0, 1) == 1
+    base = counters(topo)
+    topo.invalidate_nodes([99, 100])  # never registered
+    topo.invalidate_nodes([])
+    assert topo.hops(0, 1) == 1
+    after = counters(topo)
+    # No known id changed: no counter movement and no rebuild at all.
+    assert after.get("graph_node_invalidations", 0) == base.get(
+        "graph_node_invalidations", 0)
+    assert after["graph_rebuilds"] == base["graph_rebuilds"]
+
+
+def test_invalidate_nodes_counts_only_known_ids():
+    _, topo = make_topology(CHAIN)
+    topo.hops(0, 1)
+    topo.invalidate_nodes([0, 1, 99])
+    assert counters(topo)["graph_node_invalidations"] == 2
+
+
+def test_batched_net_zero_flips_collapse_to_a_refresh():
+    """Crash + restart with no query in between refreshes once — and the
+    delta pass notices the membership is back where it started, so the
+    graph is not even patched."""
+    _, topo = make_topology(CHAIN)
+    assert topo.hops(0, LAST) == LAST
+    base = counters(topo)
+    topo.get(1).kill()
+    topo.invalidate_nodes([1])
+    topo.get(1).alive = True
+    topo.invalidate_nodes([1])  # no query between the flips
+    assert topo.hops(0, LAST) == LAST
+    after = counters(topo)
+    assert after["graph_rebuilds"] - base["graph_rebuilds"] == 1
+    assert after.get("graph_delta_rebuilds", 0) == base.get(
+        "graph_delta_rebuilds", 0)
+    assert after["graph_full_rebuilds"] == base["graph_full_rebuilds"]
+
+
+def test_invalidate_nodes_drops_stale_bfs_answers():
+    _, topo = make_topology(CHAIN)
+    assert topo.hops(0, LAST) == LAST  # memoized
+    topo.get(2).kill()
+    topo.invalidate_nodes([2])
+    assert topo.hops(0, LAST) is None  # memo did not survive

@@ -1,7 +1,5 @@
 """Unit tests for the message trace tap."""
 
-import warnings
-
 import pytest
 
 from repro.geometry import Point
@@ -52,18 +50,6 @@ def test_records_floods():
     assert len(floods) == 1
     assert floods[0].mtype == "WAVE"
     assert floods[0].dst is None
-
-
-def test_records_deprecated_shim_traffic():
-    # Legacy callers route through send(), so the tap still sees them.
-    ctx, nodes = make_net()
-    trace = MessageTrace().attach(ctx.transport)
-    with warnings.catch_warnings():
-        warnings.simplefilter("ignore", DeprecationWarning)
-        ctx.transport.unicast(nodes[0], nodes[2], Message("PING", 0, 2),
-                              Category.CONFIG)
-    trace.detach()
-    assert [e.mtype for e in trace.unicasts()] == ["PING"]
 
 
 def test_failed_unicast_recorded_as_undelivered():

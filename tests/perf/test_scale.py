@@ -1,6 +1,6 @@
 """The scale bench: schema, determinism, and the regression gate.
 
-The real matrix (1k/10k) runs in CI and locally via ``repro bench
+The real matrix (1k/10k/50k) runs in CI and locally via ``repro bench
 --scale``; tests shrink the size list so the whole file stays fast.
 """
 
@@ -17,6 +17,9 @@ def tiny_matrix(monkeypatch):
     monkeypatch.setattr(scale, "SCALE_SIZES_QUICK", (120,))
     monkeypatch.setattr(scale, "ROUNDS", 2)
     monkeypatch.setattr(scale, "CHURN_TIMERS", 200)
+    # Keep the churned slice under the delta-rebuild dirty threshold
+    # (25 %) at the shrunken population sizes.
+    monkeypatch.setattr(scale, "CHURN_NODES", 16)
 
 
 def test_payload_schema_and_structure(tiny_matrix):
@@ -25,11 +28,15 @@ def test_payload_schema_and_structure(tiny_matrix):
     assert set(payload["sizes"]) == {"120", "250"}
     for cell in payload["sizes"].values():
         assert set(cell) >= {"n", "area_side_m", "rounds", "wall",
-                             "graph", "heap", "counters"}
+                             "graph", "heap", "churn", "counters"}
         assert cell["wall"]["build_s"] > 0
         assert cell["graph"]["edges"] > 0
         assert cell["graph"]["shards"] >= 1
         assert cell["counters"]["graph_rebuilds"] >= 1
+        churn = cell["churn"]
+        assert churn["rounds"] == scale.CHURN_FAULT_ROUNDS
+        assert churn["nodes_per_round"] >= 1
+        assert churn["counters_delta"]["graph_node_invalidations"] > 0
         # Constant density: larger n means a larger area.
     assert (payload["sizes"]["250"]["area_side_m"]
             > payload["sizes"]["120"]["area_side_m"])
@@ -108,6 +115,38 @@ def test_mobile_fraction_keeps_delta_path_active(tiny_matrix):
     assert counters["graph_shards_touched"] > 0
 
 
+def test_fault_churn_rides_the_node_scoped_delta_path(tiny_matrix):
+    """Crash/restart churn must be absorbed by delta rebuilds scoped to
+    the churned slice — the invalidate_nodes contract."""
+    payload = scale.run_scale(quick=True)
+    cell = payload["sizes"]["120"]
+    churn = cell["churn"]
+    delta = churn["counters_delta"]
+    # Two invalidation batches (crash, restart) per churn round, each
+    # counting every churned node...
+    expected = 2 * churn["rounds"] * churn["nodes_per_round"]
+    assert delta["graph_node_invalidations"] == expected
+    # ...each absorbed by a delta rebuild, never a full one.
+    assert delta["graph_delta_rebuilds"] == 2 * churn["rounds"]
+    assert delta.get("graph_full_rebuilds", 0) == 0
+    # Dirty work is sized by the churned slice, not the population.
+    assert delta["graph_delta_dirty_nodes"] == expected
+
+
+def test_gate_flags_churn_delta_regressions(tiny_matrix):
+    baseline = scale.run_scale(quick=True)
+    run = json.loads(json.dumps(baseline))
+    churn = run["sizes"]["120"]["churn"]
+    churn["counters_delta"]["graph_delta_dirty_nodes"] *= 2
+    failures = scale.check_scale_regression(run, baseline)
+    assert any("churn graph_delta_dirty_nodes regressed" in f
+               for f in failures)
+    # Incomparable churn shapes refuse instead of comparing.
+    churn["rounds"] += 1
+    failures = scale.check_scale_regression(run, baseline)
+    assert any("churn rounds differ" in f for f in failures)
+
+
 def test_committed_baseline_matches_schema():
     """BENCH_scale.json at the repo root stays loadable and current."""
     from pathlib import Path
@@ -116,7 +155,15 @@ def test_committed_baseline_matches_schema():
     assert path.exists(), "repo-root BENCH_scale.json baseline missing"
     payload = json.loads(path.read_text())
     assert payload["schema"] == scale.SCALE_SCHEMA_VERSION
-    assert set(payload["sizes"]) == {"1000", "10000"}
+    assert set(payload["sizes"]) == {"1000", "10000", "50000"}
     for cell in payload["sizes"].values():
         assert cell["graph"]["edges"] > 0
         assert cell["counters"]
+    # The headline scaling fact: a localized restart storm touches a
+    # constant handful of shards per rebuild (the cluster's footprint),
+    # while the shard population keeps growing with n.
+    big = payload["sizes"]["50000"]
+    delta = big["churn"]["counters_delta"]
+    touched_per_rebuild = (delta["graph_shards_touched"]
+                           / delta["graph_delta_rebuilds"])
+    assert touched_per_rebuild * 10 <= big["graph"]["shards"]
