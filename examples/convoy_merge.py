@@ -59,7 +59,10 @@ def main() -> None:
     print("\nconvoy B closes in ...")
     for i, agent in enumerate(convoy_b):
         agent.node.mobility = Stationary(Point(100.0 + 110.0 * i, 320.0))
-    ctx.topology.invalidate()
+    # The blast radius is known — exactly convoy B moved — so use the
+    # node-scoped invalidation and keep the delta-rebuild path eligible
+    # instead of forcing a full O(n) rebuild.
+    ctx.topology.invalidate_nodes([agent.node_id for agent in convoy_b])
     ctx.sim.run(until=ctx.sim.now + 120.0)
 
     print("\n=== After the merge ===")

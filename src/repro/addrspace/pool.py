@@ -107,6 +107,29 @@ class AddressPool:
         self._allocated.add(address)
         return address
 
+    def allocate_many(self, count: int) -> List[int]:
+        """Take the ``count`` lowest free addresses in one carve pass.
+
+        Equivalent to ``count`` successive :meth:`allocate` calls — same
+        addresses, same remaining free-block structure (the buddy
+        decomposition of each block's unconsumed suffix) — but without
+        the per-address block scan, so bulk bootstrap paths can build a
+        whole cluster's worth of assignments at once.  Returns fewer
+        than ``count`` addresses (possibly none) when the pool runs dry.
+        """
+        taken: List[int] = []
+        while len(taken) < count and self._free_blocks:
+            block = min(self._free_blocks, key=lambda b: b.start)
+            self._free_blocks.remove(block)
+            need = count - len(taken)
+            while block.size > need:
+                low, high = block.split()
+                self._free_blocks.append(high)
+                block = low
+            taken.extend(range(block.start, block.start + block.size))
+        self._allocated.update(taken)
+        return taken
+
     def _carve_single(self, block: Block, address: int) -> None:
         """Remove ``address`` from ``block``, keeping the rest free."""
         self._free_blocks.remove(block)

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import dataclasses
 import enum
-from typing import Dict, Iterator, Optional, Tuple
+from typing import Dict, Iterable, Iterator, Optional, Tuple
 
 
 class AddressStatus(enum.Enum):
@@ -69,6 +69,27 @@ class AddressLedger:
         record.holder = None
         record.timestamp += 1
         return record
+
+    def bulk_assign(
+        self, assignments: Iterable[Tuple[int, Optional[int]]]
+    ) -> None:
+        """Batch :meth:`mark_assigned` over ``(address, holder)`` pairs.
+
+        Same records, same timestamps — fresh addresses go straight to
+        ``ASSIGNED`` at timestamp 1 without the intermediate default
+        record that :meth:`mark_assigned` would allocate and mutate, so
+        bulk bootstrap paths can seed a whole ledger in one pass.
+        """
+        records = self._records
+        for address, holder in assignments:
+            record = records.get(address)
+            if record is None:
+                records[address] = AddressRecord(
+                    AddressStatus.ASSIGNED, 1, holder)
+            else:
+                record.status = AddressStatus.ASSIGNED
+                record.holder = holder
+                record.timestamp += 1
 
     def apply(self, address: int, record: AddressRecord) -> bool:
         """Install ``record`` if it is newer than the local copy."""

@@ -66,10 +66,10 @@ class AdjustmentMixin:
         node = self.ctx.node_of(member)
         if node is None or not node.alive:
             return False
-        # Deliberately unbounded: liveness asks "still in my partition
-        # at all", not "still within k hops".
-        return self.ctx.topology.hops(
-            self.node_id, member, max_hops=None) is not None
+        # Liveness asks "still in my partition at all", not "still
+        # within k hops" — an O(1) connectivity-label check, where the
+        # pre-label engine flooded an unbounded BFS per member.
+        return self.ctx.topology.same_component(self.node_id, member)
 
     def _audit(self) -> None:
         if not self.is_allocator():
@@ -105,21 +105,30 @@ class AdjustmentMixin:
         for head_id, _hops in self._heads_within(ADJACENT_HEAD_HOPS):
             self._recruit_member(head_id)
         if self.head.qdset.needs_regrow():
-            # Deliberately unbounded: regrowing a starved QDSet recruits
-            # the nearest heads wherever they are in the partition.
-            candidates = sorted(
-                (
-                    (hops, other)
-                    for other, hops in self.ctx.topology.reachable(
-                        self.node_id, max_hops=None).items()
-                    if other != self.node_id and hops > 0
-                    and self.ctx.is_head(other)
-                ),
-            )
-            for _hops, head_id in candidates:
-                if not self.head.qdset.needs_regrow():
-                    break
-                self._recruit_member(head_id)
+            # Regrowing a starved QDSet recruits the nearest heads in
+            # the partition, nearest first (recruit order is part of the
+            # quorum-safety behavior under churn).  Instead of the
+            # pre-label unbounded flood, an expanding-ring search
+            # doubles a bounded hop radius until the QDSet is regrown or
+            # the ring provably covers the whole component — an O(1)
+            # connectivity-label size check.  Candidate order is
+            # identical to the old hop-sorted flood; only the search is
+            # bounded.
+            topology = self.ctx.topology
+            component = topology.component_size(self.node_id)
+            k = ADJACENT_HEAD_HOPS
+            prev = 0
+            while self.head.qdset.needs_regrow():
+                ring = topology.within_hops(self.node_id, k)
+                for _hops, head_id in sorted(
+                        (hops, other) for other, hops in ring
+                        if hops > prev and self.ctx.is_head(other)):
+                    if not self.head.qdset.needs_regrow():
+                        break
+                    self._recruit_member(head_id)
+                if len(ring) + 1 >= component:
+                    break  # the ring reached everyone reachable
+                prev, k = k, k * 2
 
     def _recruit_member(self, head_id: int) -> None:
         assert self.head is not None

@@ -160,11 +160,11 @@ class DepartureMixin:
 
         candidates = [
             member for member in self.head.qdset.active_members()
-            # Deliberately unbounded: any reachable co-holder in the
-            # partition may take the block, however far away.
+            # Any reachable co-holder in the partition may take the
+            # block, however far away — an O(1) connectivity-label
+            # check per member, not an unbounded BFS.
             if self.ctx.is_head(member)
-            and self.ctx.topology.hops(
-                self.node_id, member, max_hops=None) is not None
+            and self.ctx.topology.same_component(self.node_id, member)
         ]
         if candidates:
             return min(candidates, key=lambda mid: (replica_size(mid), mid))

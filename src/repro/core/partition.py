@@ -90,6 +90,15 @@ class PartitionMixin:
         self._orphan_check()
         if self._rejoining or not self.is_configured():
             return
+        # O(1) pre-check on the shared component table: when every
+        # configured node in the partition carries our network id, no
+        # 3-hop scan can find a foreign one (a bounded neighborhood is
+        # a subset of the component).  Partitions are homogeneous except
+        # in the short window after two networks meet, so the scan
+        # below runs only while there is actually something to merge.
+        networks = self.ctx.component_networks(self.node_id)
+        if len(networks) == 1 and self.network_id in networks:
+            return
         for other_id, _hops in self.ctx.topology.within_hops(
                 self.node_id, HEAD_SCOPE_HOPS):
             agent = self.ctx.agent_of(other_id)
@@ -109,22 +118,13 @@ class PartitionMixin:
         if self.head is not None:
             self._orphan_strikes = 0
             return
-        own_net_head = False
-        any_head = False
-        # Deliberately unbounded: orphan rescue asks the whole partition
-        # whether any head of the node's own network still exists.
-        for other, hops in self.ctx.topology.reachable(
-                self.node_id, max_hops=None).items():
-            if other == self.node_id or hops == 0:
-                continue
-            if not self.ctx.is_head(other):
-                continue
-            any_head = True
-            agent = self.ctx.agent_of(other)
-            if agent is not None and getattr(agent, "network_id", None) == self.network_id:
-                own_net_head = True
-                break
-        if own_net_head:
+        # Orphan rescue asks the whole partition whether any head of the
+        # node's own network still exists.  The shared per-component
+        # head table answers in O(1); every node walking its own
+        # component per scan made the scan round O(n^2).
+        networks = self.ctx.component_head_networks(self.node_id)
+        any_head = bool(networks)
+        if self.network_id in networks:
             self._orphan_strikes = 0
             return
         self._orphan_strikes += 1
@@ -265,16 +265,16 @@ class PartitionMixin:
         if self._isolated_strikes < ISOLATION_STRIKES:
             return
         self._isolated_strikes = 0
-        # Deliberately unbounded: re-founding elects the lowest-id head
-        # of the whole component, so the scan must cover all of it.
+        # Re-founding elects the lowest-id head of the whole component —
+        # read off the shared per-component head table (built from the
+        # connectivity labels; no BFS flood, no per-asker walk).
         reachable_heads = [
-            other for other, hops in self.ctx.topology.reachable(
-                self.node_id, max_hops=None).items()
-            if other != self.node_id and hops > 0 and self.ctx.is_head(other)
+            other for other in self.ctx.component_heads(self.node_id)
+            if other != self.node_id
         ]
         if not reachable_heads:
             self._become_isolated_network(flood_component=False)
-        elif self.node_id < min(reachable_heads):
+        elif self.node_id < reachable_heads[0]:
             self._become_isolated_network(flood_component=True)
         # else: a lower-id head in this component will re-found; wait.
 

@@ -152,6 +152,17 @@ class QuorumProtocolAgent(
                 lambda size: agents.note_qdset_size(node_id, size))
             agents.note_qdset_size(node_id, len(qdset))
 
+    @property
+    def network_id(self) -> Optional[int]:
+        return self._network_id
+
+    @network_id.setter
+    def network_id(self, value: Optional[int]) -> None:
+        # Network membership changes version the context's derived
+        # per-component head tables (see NetworkContext.component_heads).
+        self._network_id = value
+        self.ctx.agents.note_network(self.node.node_id, value)
+
     def _sync_vote_timers(self) -> None:
         self.ctx.agents.note_vote_timers(
             self.node.node_id, len(self._vote_timers))
@@ -250,14 +261,18 @@ class QuorumProtocolAgent(
             self._config_timer.restart(self.cfg.config_timeout)
             return
 
-        # Deliberately unbounded: with no head in HELLO scope the
-        # entrant falls back to asking the whole partition (Section
-        # IV-B's "ask any allocator" escape hatch).
+        # With no head in HELLO scope the entrant falls back to asking
+        # the whole partition (Section IV-B's "ask any allocator"
+        # escape hatch) — served from the connectivity labels as an
+        # O(component) member iteration rather than an unbounded BFS
+        # flood.  Heads rank by (network id, node id): the hop distance
+        # no longer participates, which only matters when one network
+        # has several heads beyond HELLO scope and any of them is an
+        # equally valid allocator.
         candidates = self._rank_by_network([
-            (other, hops)
-            for other, hops in self.ctx.topology.reachable(
-                self.node_id, max_hops=None).items()
-            if other != self.node_id and hops > 0 and self.ctx.is_head(other)
+            (other, 0)
+            for other in self.ctx.topology.component_members(self.node_id)
+            if other != self.node_id and self.ctx.is_head(other)
         ])
         if candidates:
             if obs:

@@ -375,6 +375,50 @@ class HopBoundRule(Rule):
                     f"({keyword}=None if deliberately unbounded)")
 
 
+class ConnApiRule(Rule):
+    """Protocol code asks connectivity questions via component labels.
+
+    Since the incremental connectivity layer, ``Topology`` answers
+    "same partition?" in O(1) (:meth:`same_component`) and "who is in
+    my partition?" in O(component) (:meth:`component_members`).  A
+    ``reachable(..., max_hops=None)`` / ``hops(..., max_hops=None)``
+    call in the protocol packages re-introduces the unbounded
+    whole-component BFS those queries replaced, so the sibling of
+    ``hop-bound`` flags the deliberate-unbounded spelling too — inside
+    ``repro.core`` / ``repro.quorum`` only, where every call site was
+    migrated.  Engine, bench, and oracle code may still flood.
+    """
+
+    name = "conn-api"
+    description = ("unbounded topology query (max_hops=None) in protocol "
+                   "code that should use the connectivity-label API")
+    severity = Severity.ERROR
+
+    _QUERIES = ("hops", "reachable")
+
+    def applies(self, ctx: FileContext) -> bool:
+        return ctx.in_package("repro.core", "repro.quorum")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in self._QUERIES):
+                continue
+            unbounded = any(
+                kw.arg == "max_hops"
+                and isinstance(kw.value, ast.Constant)
+                and kw.value.value is None
+                for kw in node.keywords)
+            if unbounded:
+                yield ctx.finding(
+                    self, node,
+                    f".{node.func.attr}(max_hops=None) floods the whole "
+                    "component; protocol code should use same_component()"
+                    " / component_members() (O(1)/O(component) label "
+                    "queries) instead")
+
+
 class TimerDisciplineRule(Rule):
     """Protocol timers are configuration, not scattered literals.
 
@@ -537,6 +581,7 @@ ALL_RULES: Tuple[Rule, ...] = (
     FrozenMessageRule(),
     FrozenEventRule(),
     HopBoundRule(),
+    ConnApiRule(),
     TimerDisciplineRule(),
     QuorumArithRule(),
     NoOracleImportRule(),

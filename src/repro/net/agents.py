@@ -88,6 +88,11 @@ class AgentStore:
         #: Bumped whenever slot numbering changes (compaction).  Slot
         #: references held outside the store are invalid across bumps.
         self.layout_version = 0
+        #: Bumped on membership and role/network-id changes — the cheap
+        #: half of the cache key for derived protocol views (the other
+        #: half is ``Topology.graph_version``; see
+        #: :meth:`~repro.net.context.NetworkContext.component_heads`).
+        self.role_epoch = 0
         #: code -> role string; code 0 is always "" (no role).
         self.role_names: List[str] = [""]
         self._role_code_of: Dict[str, int] = {"": 0}
@@ -113,6 +118,7 @@ class AgentStore:
         the original slot and re-snapshotting the columns.
         """
         node_id = int(agent.node.node_id)
+        self.role_epoch += 1
         slot = self.slot_of.get(node_id)
         if slot is not None:
             self.agents[slot] = agent
@@ -148,6 +154,7 @@ class AgentStore:
         self.qdset_sizes[slot] = 0
         self.vote_timers[slot] = 0
         self._tombstones += 1
+        self.role_epoch += 1
         self._maybe_compact()
         return True
 
@@ -239,6 +246,16 @@ class AgentStore:
         slot = self.slot_of.get(node_id)
         if slot is not None:
             self.role_codes[slot] = self._intern_role(role or "")
+            self.role_epoch += 1
+
+    def note_network(self, node_id: int, network_id: Optional[int]) -> None:
+        """Record that a node's network id changed.
+
+        No column is kept for network ids (nothing aggregates over
+        them); the hook exists to version the derived per-component
+        head tables, which cache which networks still have allocators
+        where."""
+        self.role_epoch += 1
 
     def note_address(self, node_id: int, address: Optional[int]) -> None:
         slot = self.slot_of.get(node_id)

@@ -12,7 +12,7 @@ protocol needs from its routing substrate:
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Dict, Optional
+from typing import TYPE_CHECKING, Any, Dict, FrozenSet, Optional, Tuple
 
 from repro.net.agents import AgentStore
 from repro.net.hello import HelloService
@@ -66,6 +66,21 @@ class NetworkContext:
         # sync by the note_* write-through hooks (see repro.net.agents).
         self.agents: AgentStore = AgentStore()
         self.ip_registry: Dict[int, int] = {}  # ip -> node_id
+        # Derived view: component id -> (sorted head ids, head network
+        # ids, all configured network ids), shared by every agent that
+        # asks "does my partition still have allocators" (orphan
+        # rescue, isolation re-founding) or "is there anything foreign
+        # left to merge with" (merge scan).  One O(n) pass builds it;
+        # without the cache each asker walked its own neighborhood or
+        # component per scan — O(n^2) per scan round.  Keyed on
+        # (graph_version, role_epoch) so any topology rebuild or
+        # role/network transition invalidates it; the TTL is a backstop
+        # against state changes neither key covers.
+        self._comp_heads_key: Tuple[int, int] = (-1, -1)
+        self._comp_heads_at: float = -1.0
+        self._comp_heads: Dict[int, Tuple[Tuple[int, ...],
+                                          FrozenSet[int],
+                                          FrozenSet[int]]] = {}
 
     # ------------------------------------------------------------------
     # Agent registry
@@ -113,6 +128,72 @@ class NetworkContext:
         if agent is None or node is None or not node.alive:
             return False
         return bool(getattr(agent, "is_configured", lambda: False)())
+
+    # ------------------------------------------------------------------
+    # Component-level role queries (connectivity labels + agent columns)
+    # ------------------------------------------------------------------
+    #: Backstop recompute interval for the per-component head table, in
+    #: sim seconds — shorter than every periodic scan that consumes it.
+    COMP_HEADS_TTL = 1.0
+
+    _NO_HEADS: Tuple[Tuple[int, ...], FrozenSet[int], FrozenSet[int]] = (
+        (), frozenset(), frozenset())
+
+    def _component_heads_entry(
+        self, node_id: int
+    ) -> Tuple[Tuple[int, ...], FrozenSet[int], FrozenSet[int]]:
+        topology = self.topology
+        # Query the labels first: this forces any pending rebuild, so
+        # graph_version below reflects the graph being answered about.
+        component = topology.component_id(node_id)
+        if component is None:
+            return self._NO_HEADS
+        key = (topology.graph_version, self.agents.role_epoch)
+        now = self.sim.now
+        if (key != self._comp_heads_key
+                or now - self._comp_heads_at >= self.COMP_HEADS_TTL):
+            table: Dict[int, Tuple[list, set, set]] = {}
+            for nid, agent in self.agents.items():
+                if not self.is_configured(nid):
+                    continue
+                comp = topology.component_id(nid)
+                entry = table.get(comp)
+                if entry is None:
+                    entry = table[comp] = ([], set(), set())
+                network = getattr(agent, "network_id", None)
+                entry[2].add(network)
+                if self.is_head(nid):
+                    entry[0].append(nid)
+                    entry[1].add(network)
+            self._comp_heads = {
+                comp: (tuple(sorted(ids)), frozenset(hnets),
+                       frozenset(nets))
+                for comp, (ids, hnets, nets) in table.items()}
+            self._comp_heads_key = key
+            self._comp_heads_at = now
+        return self._comp_heads.get(component, self._NO_HEADS)
+
+    def component_heads(self, node_id: int) -> Tuple[int, ...]:
+        """Allocator node ids in ``node_id``'s component, ascending.
+
+        O(1) amortized: one O(n) table build per topology rebuild /
+        role transition serves every caller in the interval.  The
+        pre-label protocol answered this with an unbounded BFS flood
+        per asker; the label layer's ``component_members`` walk was
+        bounded but still O(component) per asker per scan."""
+        return self._component_heads_entry(node_id)[0]
+
+    def component_head_networks(self, node_id: int) -> FrozenSet[int]:
+        """Network ids that still have an allocator in ``node_id``'s
+        component (empty when the component has no heads at all)."""
+        return self._component_heads_entry(node_id)[1]
+
+    def component_networks(self, node_id: int) -> FrozenSet[int]:
+        """Network ids of every configured node in ``node_id``'s
+        component — heads and commons.  A singleton set equal to the
+        asker's own network means its partition is homogeneous: no
+        bounded neighborhood scan can find a foreign network id."""
+        return self._component_heads_entry(node_id)[2]
 
     @classmethod
     def build(

@@ -44,7 +44,7 @@ adjacency on top of.
 from __future__ import annotations
 
 from array import array
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.mobility.base import MobilityModel, Stationary
 from repro.net.node import Node
@@ -107,6 +107,36 @@ class NodeStore:
         self._static.append(0)
         self.slot_of[node.node_id] = slot
         return slot
+
+    def add_many(self, nodes: Iterable[Node]) -> int:
+        """Append a batch of nodes, returning how many were added.
+
+        The bulk-setup fast path: duplicate ids are rejected up front
+        (before any state changes, so a failed batch leaves the store
+        untouched), then every parallel array is extended once instead
+        of per node.  Equivalent to ``add`` in a loop — slots are
+        assigned in iteration order — at a fraction of the overhead
+        when bootstrapping 10k-node populations.
+        """
+        batch = list(nodes)
+        seen: Dict[int, int] = {}
+        for node in batch:
+            if node.node_id in self.slot_of or node.node_id in seen:
+                raise ValueError(f"duplicate node id {node.node_id}")
+            seen[node.node_id] = 1
+        if not batch:
+            return 0
+        base = len(self.ids)
+        count = len(batch)
+        self.ids.extend(node.node_id for node in batch)
+        self.nodes.extend(batch)
+        self.xs.extend([0.0] * count)
+        self.ys.extend([0.0] * count)
+        self._mobility.extend([None] * count)
+        self._static.extend(b"\x00" * count)
+        for offset, node in enumerate(batch):
+            self.slot_of[node.node_id] = base + offset
+        return count
 
     def evict(self, node_id: int) -> bool:
         """Tombstone ``node_id``'s slot; True if it was present."""

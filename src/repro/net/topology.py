@@ -46,6 +46,21 @@ graph library on the hot path — and, since the scale rework, on
   graphs: the delta path is an exact optimization, not an
   approximation.
 
+* **Incremental connectivity labels.**  Connected-component membership
+  is a first-class product of the rebuild machinery: once a caller
+  asks a label question (:meth:`component_id`, :meth:`same_component`,
+  :meth:`component_size`, :meth:`component_members`), per-slot labels
+  are maintained alongside the graph.  Full rebuilds relabel every
+  slot in one sweep; delta rebuilds relabel only the dirty region —
+  detached slots leave their components, a frontier check seeded from
+  the detached slots' surviving neighbors proves no split happened (or
+  recomputes exactly the affected component when one did), and
+  re-inserted slots join/merge neighbor components.  Labels are
+  provably bit-identical to :meth:`components` from scratch at every
+  refresh, so partition checks and merge scans become O(1) lookups and
+  O(component) member iteration instead of unbounded BFS floods (the
+  ``conn_*`` counters prove the floods are gone).
+
 The engine is validated against a networkx oracle
 (:mod:`repro.net.oracle`, a test/bench-only dependency) for edge sets,
 hop counts, iteration order and connected components — see
@@ -55,7 +70,7 @@ hop counts, iteration order and connected components — see
 
 from __future__ import annotations
 
-from bisect import insort
+from bisect import bisect_left, insort
 from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 from repro.net.grid import ShardedGrid
@@ -118,6 +133,16 @@ class Topology:
         # --- BFS scratch: slot -> visit epoch (never reset, only bumped)
         self._bfs_mark: List[int] = []
         self._bfs_epoch = 0
+        # --- connectivity labels (lazily activated on first query) -----
+        # slot -> component table index (-1 while unlabeled / not in
+        # graph).  The table maps index -> ascending member-slot list;
+        # the *public* component id is derived (min-slot member's node
+        # id), so representative changes never need a relabel.
+        self._comp_of: List[int] = []
+        self._comp_members: Dict[int, List[int]] = {}
+        self._comp_next = 0
+        self._labels_active = False  # a label query has happened
+        self._labels_valid = False   # labels match the current graph
 
     # ------------------------------------------------------------------
     # Population management
@@ -126,6 +151,21 @@ class Topology:
         self._nodes.add(node)  # raises on duplicate id
         self._members_dirty = True
         self._bfs_cache.clear()
+
+    def add_nodes(self, nodes: Iterable[Node]) -> int:
+        """Register many nodes in one batch (the bulk-setup fast path).
+
+        Equivalent to calling :meth:`add_node` per node, but the store
+        extends its parallel arrays once and the BFS memo is cleared
+        once, which is what lets ``repro bench --scale`` bootstrap a
+        10k-node population without n separate invalidation rounds.
+        Returns the number of nodes registered.
+        """
+        count = self._nodes.add_many(nodes)
+        if count:
+            self._members_dirty = True
+            self._bfs_cache.clear()
+        return count
 
     def remove_node(self, node: Node) -> None:
         """Evict a node entirely (graceful leave, vanish, permanent
@@ -200,6 +240,8 @@ class Topology:
             self._adj.extend([] for _ in range(grow))
         if cap > len(self._bfs_mark):
             self._bfs_mark.extend([0] * (cap - len(self._bfs_mark)))
+        if cap > len(self._comp_of):
+            self._comp_of.extend([-1] * (cap - len(self._comp_of)))
 
     def _ensure_graph(self) -> None:
         """Bring the graph snapshot up to date with ``sim.now``.
@@ -250,6 +292,10 @@ class Topology:
     def _full_rebuild(self, alive: List[int]) -> None:
         self.perf.incr("graph_full_rebuilds")
         self._ensure_capacity()
+        # Slot-to-label assignments cannot survive a wholesale rebuild
+        # (compaction may even have renumbered slots); the next label
+        # query runs a full relabel sweep.
+        self._labels_valid = False
         store = self._nodes
         cap = store.capacity
         xs, ys = store.xs, store.ys
@@ -347,6 +393,24 @@ class Topology:
         moved_slots = [entry[0] for entry in moved]
         gone: Set[int] = set(removed)
         gone.update(moved_slots)
+        detached = removed + moved_slots
+        # Connectivity labels ride the delta: capture, per affected
+        # component, the *surviving* old neighbors of every detached
+        # slot before the adjacency is torn down.  Any post-detach
+        # split of that component must leave a piece containing one of
+        # these boundary slots (an old path between survivors crossing
+        # the detached set enters it through a boundary slot), so
+        # verifying the boundary's mutual connectivity afterwards
+        # proves — or exactly repairs — the component partition.
+        track_labels = self._labels_active and self._labels_valid
+        boundary_by_comp: Dict[int, Set[int]] = {}
+        if track_labels:
+            comp_of = self._comp_of
+            for slot in detached:
+                bset = boundary_by_comp.setdefault(comp_of[slot], set())
+                for nb in adj[slot]:
+                    if nb not in gone:
+                        bset.add(nb)
         # 1) detach every removed/moved slot from the old structure
         #    (moved slots part from their *pre-refresh* cell).
         for slot, old_x, old_y in moved:
@@ -389,7 +453,314 @@ class Topology:
         # Membership changed in place; rebuild the ascending slot list.
         if added or removed:
             self._graph_slots = alive
+        if track_labels:
+            self._delta_relabel(detached, boundary_by_comp, dirty)
         return True
+
+    # ------------------------------------------------------------------
+    # Connectivity labels (incremental component tracking)
+    # ------------------------------------------------------------------
+    def _ensure_labels(self) -> None:
+        """Bring component labels up to date with the current graph.
+
+        The first label query activates maintenance; from then on delta
+        rebuilds keep the labels current incrementally and only full
+        rebuilds (large dirty sets, compaction, blanket invalidation)
+        schedule a fresh full relabel — the same fallback discipline
+        the graph itself uses.
+        """
+        self._ensure_graph()
+        self._labels_active = True
+        if not self._labels_valid:
+            self._full_relabel()
+
+    def _full_relabel(self) -> None:
+        """Label every slot with one BFS sweep in ascending-slot order.
+
+        Ascending iteration guarantees each component's BFS starts at
+        its minimum slot, so table entries are discovered in canonical
+        order and the whole procedure is deterministic.
+        """
+        self.perf.incr("conn_relabels")
+        self.perf.incr("conn_full_relabels")
+        cap = max(self._nodes.capacity, len(self._in_graph))
+        comp_of = [-1] * cap
+        self._comp_of = comp_of
+        members: Dict[int, List[int]] = {}
+        self._comp_members = members
+        adj = self._adj
+        mark = self._bfs_mark
+        self._bfs_epoch += 1
+        epoch = self._bfs_epoch
+        nxt = self._comp_next
+        for slot in self._graph_slots:
+            if mark[slot] == epoch:
+                continue
+            idx = nxt
+            nxt += 1
+            mark[slot] = epoch
+            comp_of[slot] = idx
+            comp = [slot]
+            frontier = [slot]
+            while frontier:
+                level: List[int] = []
+                for v in frontier:
+                    for w in adj[v]:
+                        if mark[w] != epoch:
+                            mark[w] = epoch
+                            comp_of[w] = idx
+                            comp.append(w)
+                            level.append(w)
+                frontier = level
+            comp.sort()
+            members[idx] = comp
+        self._comp_next = nxt
+        self._labels_valid = True
+        self.perf.incr("conn_slots_relabeled", len(self._graph_slots))
+
+    def _delta_relabel(
+        self,
+        detached: List[int],
+        boundary_by_comp: Dict[int, Set[int]],
+        reinserted: List[int],
+    ) -> None:
+        """Patch labels after a delta rebuild (exact, O(dirty region)).
+
+        Three steps, mirroring the graph patch itself:
+
+        1. Detached slots leave their components.
+        2. Each component that lost slots is checked for a split: its
+           boundary (the detached slots' surviving old neighbors) must
+           be mutually connected through surviving slots.  Survivor-to-
+           survivor edges are bit-identical to the old graph (neither
+           endpoint was dirty), so the check is sound; when it fails,
+           exactly that component is recomputed from scratch.
+        3. Re-inserted slots (moved + added) adopt the label of their
+           new neighbors, merging components when they bridge several —
+           only the smaller (by canonical min-slot) side is relabeled.
+
+        The result is identical to a full relabel of the new graph; the
+        cost is bounded by the dirty region plus any genuinely split or
+        merged components, never the population.
+        """
+        self.perf.incr("conn_relabels")
+        self.perf.incr("conn_delta_relabels")
+        comp_of = self._comp_of
+        members = self._comp_members
+        relabeled = 0
+        # 1) detach
+        for slot in detached:
+            idx = comp_of[slot]
+            comp_of[slot] = -1
+            comp = members[idx]
+            del comp[bisect_left(comp, slot)]
+            if not comp:
+                del members[idx]
+        # 2) split verification (or exact repair) per affected component
+        for idx in sorted(boundary_by_comp):
+            if idx not in members:
+                continue  # everything detached; nothing left to split
+            bset = boundary_by_comp[idx]
+            if len(bset) > 1:
+                relabeled += self._verify_or_split(idx, bset)
+        # 3) label the re-inserted slots
+        relabeled += self._label_reinserted(reinserted)
+        self.perf.incr("conn_slots_relabeled", relabeled)
+
+    def _verify_or_split(self, idx: int, bset: Set[int]) -> int:
+        """Confirm component ``idx`` survived its detachments intact,
+        or split it exactly.  Returns the number of slots relabeled.
+
+        The boundary slots race a lockstep multi-source BFS over the
+        *surviving* slots (label == ``idx``; re-inserted slots are
+        unlabeled at this point, so reconnections through dirty slots
+        are deliberately ignored here — step 3 re-merges through them).
+        Two searches that touch merge into one; a search whose frontier
+        empties while rivals are still running has provably enclosed a
+        maximal piece of the split, and only *that* piece is relabeled.
+        The race stops when one search remains: its region — everything
+        not yet claimed — keeps the old label untouched.  This is the
+        classic smaller-half discipline: a split (and the no-split
+        proof) costs O(everything except the largest piece), so cutting
+        a village off a 10k-node giant pays for the village, never the
+        giant.
+        """
+        adj = self._adj
+        comp_of = self._comp_of
+        members = self._comp_members
+        seeds = sorted(bset)
+        alias: Dict[int, int] = {}  # merged-away root -> absorbing root
+
+        def find(root: int) -> int:
+            while root in alias:
+                root = alias[root]
+            return root
+
+        root_of: Dict[int, int] = {s: s for s in seeds}
+        queues: Dict[int, List[int]] = {s: [s] for s in seeds}
+        scanned: Dict[int, int] = {s: 0 for s in seeds}
+        regions: Dict[int, List[int]] = {s: [s] for s in seeds}
+        live = seeds[:]  # deterministic rotation order
+        completed: List[List[int]] = []
+        while len(live) > 1:
+            for root in live[:]:
+                if len(live) <= 1:
+                    break  # a lone survivor must keep the old label
+                if find(root) != root:
+                    live.remove(root)  # absorbed earlier in this pass
+                    continue
+                q = queues[root]
+                h = scanned[root]
+                if h >= len(q):
+                    # Frontier exhausted with rivals still running: the
+                    # region's closure is entirely itself — a maximal
+                    # piece of the split.
+                    completed.append(regions[root])
+                    live.remove(root)
+                    continue
+                v = q[h]
+                scanned[root] = h + 1
+                for w in adj[v]:
+                    if comp_of[w] != idx:
+                        continue
+                    owner = root_of.get(w)
+                    if owner is None:
+                        root_of[w] = root
+                        q.append(w)
+                        regions[root].append(w)
+                        continue
+                    owner = find(owner)
+                    if owner != root:
+                        # Two searches met: they explore one connected
+                        # region; fold the rival into this search.
+                        alias[owner] = root
+                        oq = queues.pop(owner)
+                        q.extend(oq[scanned.pop(owner):])
+                        regions[root].extend(regions.pop(owner))
+        if not completed:
+            return 0  # every seed met every other: no split occurred
+        comp = members[idx]
+        relabeled = 0
+        for region in completed:
+            new_idx = self._comp_next
+            self._comp_next += 1
+            region.sort()
+            members[new_idx] = region
+            for slot in region:
+                comp_of[slot] = new_idx
+                del comp[bisect_left(comp, slot)]
+            relabeled += len(region)
+        return relabeled
+
+    def _label_reinserted(self, reinserted: List[int]) -> int:
+        """Label each re-inserted slot from its new neighbors (ascending
+        slot order), merging components bridged by it.  Returns the
+        number of slots whose label was written."""
+        adj = self._adj
+        comp_of = self._comp_of
+        members = self._comp_members
+        relabeled = 0
+        for slot in reinserted:
+            neigh: List[int] = []
+            for nb in adj[slot]:
+                idx = comp_of[nb]
+                if idx >= 0 and idx not in neigh:
+                    neigh.append(idx)
+            if not neigh:
+                idx = self._comp_next
+                self._comp_next += 1
+                members[idx] = [slot]
+                comp_of[slot] = idx
+                relabeled += 1
+                continue
+            if len(neigh) == 1:
+                winner = neigh[0]
+            else:
+                # The slot bridges several components: merge the losers
+                # into the one whose canonical (min-slot) member is
+                # smallest, relabeling only the losers.
+                winner = min(neigh, key=lambda i: members[i][0])
+                merged = members[winner]
+                for idx in neigh:
+                    if idx == winner:
+                        continue
+                    lost = members.pop(idx)
+                    for s in lost:
+                        comp_of[s] = winner
+                    merged.extend(lost)
+                    relabeled += len(lost)
+                merged.sort()
+            insort(members[winner], slot)
+            comp_of[slot] = winner
+            relabeled += 1
+        return relabeled
+
+    # --- public label queries -----------------------------------------
+    def component_id(self, node_id: int) -> Optional[int]:
+        """Canonical component id for ``node_id`` (None if not in graph).
+
+        The id is the node id of the component's earliest-inserted
+        member — stable under queries, derived (never stored), and
+        exactly the id every other member reports.  O(1) after the
+        labels are current.
+        """
+        self._ensure_labels()
+        slot = self._graph_slot(node_id)
+        if slot is None:
+            return None
+        self.perf.incr("conn_label_hits")
+        return self._nodes.ids[self._comp_members[self._comp_of[slot]][0]]
+
+    def same_component(self, a: int, b: int) -> bool:
+        """True iff ``a`` and ``b`` are in one connected component.
+
+        O(1): two slot resolutions and a label compare.  Either node
+        missing from the graph (dead, departed, never added) is False —
+        matching ``hops(a, b, max_hops=None) is not None`` exactly,
+        with no component walk.
+        """
+        self._ensure_labels()
+        slot_a = self._graph_slot(a)
+        if slot_a is None:
+            return False
+        slot_b = self._graph_slot(b)
+        if slot_b is None:
+            return False
+        self.perf.incr("conn_label_hits")
+        return self._comp_of[slot_a] == self._comp_of[slot_b]
+
+    def component_size(self, component_id: int) -> int:
+        """Member count of the given component (0 if unknown).
+
+        Accepts a canonical id from :meth:`component_id` — or, since
+        the canonical id is itself a member, any member's node id.
+        """
+        self._ensure_labels()
+        slot = self._graph_slot(component_id)
+        if slot is None:
+            return 0
+        self.perf.incr("conn_label_hits")
+        return len(self._comp_members[self._comp_of[slot]])
+
+    def component_members(self, component_id: int) -> List[int]:
+        """Member node ids of the given component, in graph (insertion)
+        order; empty if unknown.  Accepts a canonical id from
+        :meth:`component_id` or any member's node id.  O(component) —
+        the bounded replacement for an unbounded ``reachable`` flood.
+        """
+        self._ensure_labels()
+        slot = self._graph_slot(component_id)
+        if slot is None:
+            return []
+        self.perf.incr("conn_label_hits")
+        ids = self._nodes.ids
+        return [ids[s] for s in self._comp_members[self._comp_of[slot]]]
+
+    def component_count(self) -> int:
+        """Number of connected components in the current graph."""
+        self._ensure_labels()
+        self.perf.incr("conn_label_hits")
+        return len(self._comp_members)
 
     # ------------------------------------------------------------------
     # Structure queries (test / oracle surface)
@@ -462,6 +833,11 @@ class Topology:
                 self.perf.incr("bfs_cache_hits")
                 return lengths
         self.perf.incr("bfs_calls")
+        if need == _INF:
+            # An actual whole-component walk is about to run (memo
+            # misses only) — the counter the protocol call-site rework
+            # drives to zero.
+            self.perf.incr("bfs_unbounded")
         with self.perf.timer("topology.bfs"):
             lengths, complete, expanded = self._run_bfs(node_id, need)
         self.perf.incr("bfs_nodes_expanded", expanded)
@@ -594,9 +970,24 @@ class Topology:
         return out
 
     def same_partition(self, ids: Iterable[int]) -> bool:
-        """True iff all given nodes are in one connected component."""
+        """True iff all given nodes are in one connected component.
+
+        Served from the connectivity labels — O(len(ids)) lookups, no
+        component walk (the pre-label implementation flooded from the
+        first id).
+        """
         ids = list(ids)
         if len(ids) <= 1:
             return True
-        lengths = self._bfs_from(ids[0])
-        return all(other in lengths for other in ids[1:])
+        self._ensure_labels()
+        first = self._graph_slot(ids[0])
+        if first is None:
+            return False
+        comp_of = self._comp_of
+        target = comp_of[first]
+        self.perf.incr("conn_label_hits")
+        for other in ids[1:]:
+            slot = self._graph_slot(other)
+            if slot is None or comp_of[slot] != target:
+                return False
+        return True

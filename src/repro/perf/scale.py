@@ -40,6 +40,30 @@ Design choices that keep the curve honest:
   drift there means the engine no longer builds the same graph, which
   is a correctness failure, not a perf regression.
 
+Schema v3 adds two things on top of the engine matrix:
+
+* **Connectivity labels in the workload.**  Each round queries the
+  incremental component labels (``component_count`` / ``same_component``)
+  so the label layer is active before the fault-churn phase — every
+  churn batch must then ride the delta-relabel path
+  (``conn_delta_relabels`` in the churn deltas, zero
+  ``conn_full_relabels``), which is the whole point of the layer.
+
+* **A full-protocol phase** (n=1k and n=10k; the quick smoke stops at
+  1k).  :func:`~repro.experiments.bootstrap.bulk_configure` stands up a
+  complete configured network in one batched pass, the network settles,
+  then three measured disturbances run against it: an allocation storm
+  (staggered entrants through the real COM_REQ/quorum path), a
+  partition (an L-shaped moat of nodes crashes, cutting a fixed-size
+  corner village off the giant component), and a heal (the moat
+  revives).  Each sub-phase reports wall clock plus counter deltas;
+  the detect window — after the cut, before any timer-driven probe
+  traffic — must show **zero unbounded BFS walks** and **zero full
+  relabels**: partition detection rides the O(1) label queries.
+  Because the cut village is the same size at every n, the detect and
+  heal deltas stay near-constant from 1k to 10k — cost follows the
+  component, not the population.
+
 The committed baseline lives at the repo root as ``BENCH_scale.json``
 (schema in docs/BENCHMARKS.md, methodology in docs/SCALING.md); CI's
 perf-smoke job gates the n=1k cell on every push.
@@ -53,16 +77,19 @@ import time
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.core.config import ProtocolConfig
+from repro.experiments.bootstrap import bulk_configure, space_bits_for
 from repro.geometry import Point, Region
 from repro.mobility.base import Stationary
 from repro.mobility.waypoint import RandomWaypoint
+from repro.net.context import NetworkContext
 from repro.net.node import Node
 from repro.net.topology import Topology
 from repro.perf import PerfRecorder
 from repro.sim.engine import Simulator
 from repro.sim.rng import generator_from_seed
 
-SCALE_SCHEMA_VERSION = 2
+SCALE_SCHEMA_VERSION = 3
 DEFAULT_SCALE_BASELINE = Path("BENCH_scale.json")
 DEFAULT_SCALE_TOLERANCE = 0.25
 
@@ -107,6 +134,43 @@ CHURN_FAULT_ROUNDS = 3
 #: counter-comparable with the committed full-matrix baseline.
 ROUNDS = 5
 
+#: Full-protocol phase sizes.  50k is engine-only: a quarter million
+#: live protocol timers is a soak test, not a curve point.
+PROTOCOL_SIZES_FULL = (1000, 10000)
+PROTOCOL_SIZES_QUICK = (1000,)
+
+#: Allocation storm: this many entrants join the settled network through
+#: the real message-level path (COM_REQ -> quorum -> COM_CFG), one
+#: every STORM_SPACING_S seconds, placed next to existing nodes so they
+#: always have a configured neighborhood to talk to.
+STORM_ENTRANTS = 64
+STORM_SPACING_S = 0.25
+STORM_DRAIN_S = 20.0
+
+#: Settle window after the bulk bootstrap: long enough for audit /
+#: merge-watch periodics to reach steady state (they send nothing in a
+#: healthy network, so the window ends quiet).
+SETTLE_S = 30.0
+
+#: Partition geometry: the corner village [0, MOAT_INNER)^2 is cut off
+#: by crashing every node in the L-shaped moat between MOAT_INNER and
+#: MOAT_OUTER.  Both are fixed in meters, so at constant density the
+#: cut component is the same size at every n — which is exactly what
+#: the detect/heal deltas are supposed to demonstrate.  The moat is
+#: wider than the 150 m transmission range so no link crosses it.
+MOAT_INNER_M = 600.0
+MOAT_OUTER_M = 800.0
+
+#: Detect window: shorter than T_d (4 s), so suspicion accrues on every
+#: head auditing across the cut but no probe has fired yet — the window
+#: isolates pure detection, which must issue zero unbounded BFS walks.
+DETECT_WINDOW_S = 3.5
+
+#: Then the protocol reacts (quorum shrinks, probes, reclamation,
+#: minority refounds) and, after the moat revives, re-merges.
+RECOVER_S = 60.0
+HEAL_S = 30.0
+
 
 def _build_population(n: int, seed: int) -> Tuple[List[Node], float]:
     """A constant-density population; returns (nodes, area side in m)."""
@@ -149,6 +213,7 @@ def _run_size(n: int, *, seed: int, rounds: int) -> Dict[str, Any]:
     refresh_s = 0.0
     query_s = 0.0
     flood_s = 0.0
+    label_s = 0.0
     for round_no in range(rounds):
         # Advance past the refresh interval so the next query triggers an
         # incremental (delta) refresh of the moved shards.
@@ -167,6 +232,15 @@ def _run_size(n: int, *, seed: int, rounds: int) -> Dict[str, Any]:
         for nid in flood_sources:
             topo.reachable(nid, max_hops=None)
         flood_s += time.perf_counter() - start
+
+        # Connectivity-label queries: the first round activates the
+        # incremental labels (one full relabel), after which every
+        # rebuild — including the fault-churn batches below — must
+        # maintain them on the delta path.
+        start = time.perf_counter()
+        topo.component_count()
+        topo.same_component(ids[0], ids[-1])
+        label_s += time.perf_counter() - start
 
         # Timer churn: restart-style schedule+cancel pairs, the pattern
         # protocol timers produce, to exercise heap compaction at scale.
@@ -224,10 +298,12 @@ def _run_size(n: int, *, seed: int, rounds: int) -> Dict[str, Any]:
             "refresh_s_mean": refresh_s / rounds,
             "query_s_mean": query_s / rounds,
             "flood_s_mean": flood_s / rounds,
+            "label_s_mean": label_s / rounds,
         },
         "graph": {
             "edges": topo.edge_count(),
             "components": len(components),
+            "components_label": topo.component_count(),
             "largest_component": max(len(c) for c in components),
             "shards": topo.shard_count,
         },
@@ -247,9 +323,160 @@ def _run_size(n: int, *, seed: int, rounds: int) -> Dict[str, Any]:
     return cell
 
 
+def _counters_union(ctx: NetworkContext) -> Dict[str, int]:
+    """Perf counters plus protocol event tallies, one flat snapshot.
+
+    The name spaces are disjoint by construction (perf counters are
+    ``graph_*``/``bfs_*``/``conn_*``-style engine tallies, event
+    counters are ``quorum_*``/``reclaim_*``-style protocol tallies), so
+    a flat merge keeps sub-phase deltas in one dict.
+    """
+    merged = dict(ctx.perf.counters_snapshot())
+    merged.update(ctx.events.snapshot())
+    return merged
+
+
+def _run_protocol_size(n: int, *, seed: int) -> Dict[str, Any]:
+    """Measure one full-protocol population; returns the payload cell."""
+    ctx = NetworkContext.build(seed=seed,
+                               transmission_range=TRANSMISSION_RANGE)
+    sim, topo = ctx.sim, ctx.topology
+    # A stationary population has no movement to track: the paper's
+    # upon-leave location scheme (Section IV-C-1) drops the per-common
+    # periodic location timer, whose re-anchoring path is also the one
+    # remaining *deliberate* unbounded walk (hello nearest_head) a cut
+    # would otherwise trigger inside the detect window.
+    cfg = ProtocolConfig(address_space_bits=space_bits_for(n),
+                         location_update_mode="upon_leave")
+    side = math.sqrt(n / DENSITY)
+    layout_rng = generator_from_seed(seed)
+    nodes = [
+        Node(i, Stationary(Point(layout_rng.uniform(0, side),
+                                 layout_rng.uniform(0, side))))
+        for i in range(n)
+    ]
+
+    start = time.perf_counter()
+    setup = bulk_configure(ctx, cfg, nodes)
+    bootstrap_s = time.perf_counter() - start
+    # Activate the connectivity labels up front: every rebuild from here
+    # on (entrant adds, the moat cut, the heal) must ride the delta
+    # path, and every partition-detection query must be a label hit.
+    topo.component_count()
+    sim.run(until=SETTLE_S)
+
+    phases: Dict[str, Dict[str, Any]] = {}
+
+    def run_phase(name: str, fn: Any) -> None:
+        before = _counters_union(ctx)
+        start = time.perf_counter()
+        fn()
+        wall = time.perf_counter() - start
+        after = _counters_union(ctx)
+        phases[name] = {
+            "wall_s": wall,
+            "counters_delta": {
+                key: after[key] - before.get(key, 0)
+                for key in sorted(after)
+                if after[key] != before.get(key, 0)
+            },
+        }
+
+    # --- allocation storm -------------------------------------------
+    entrants: List[Any] = []
+
+    def storm() -> None:
+        from repro.core.protocol import QuorumProtocolAgent
+        for k in range(STORM_ENTRANTS):
+            # Entrants appear next to cluster heads (spread round-robin
+            # over the whole network): a joining node camps where
+            # coverage is, and the storm must exercise the allocation
+            # machinery, not the no-head-in-hello-scope corner case.
+            anchor_id = setup.heads[(k * 7) % len(setup.heads)]
+            anchor = topo.get(anchor_id).position(sim.now)
+            pos = Point(anchor.x + layout_rng.uniform(-100.0, 100.0),
+                        anchor.y + layout_rng.uniform(-100.0, 100.0))
+            node = Node(n + k, Stationary(pos))
+            topo.add_node(node)
+            agent = QuorumProtocolAgent(ctx, node, cfg)
+            entrants.append(agent)
+            sim.schedule(STORM_SPACING_S * (k + 1), agent.on_enter)
+        sim.run(until=sim.now + STORM_SPACING_S * STORM_ENTRANTS
+                + STORM_DRAIN_S)
+
+    run_phase("storm", storm)
+    phases["storm"]["entrants"] = STORM_ENTRANTS
+    phases["storm"]["configured"] = sum(
+        1 for agent in entrants if agent.is_configured())
+
+    # --- partition: crash the moat, watch detection ride the labels --
+    def in_square(node: Node, bound: float) -> bool:
+        p = node.position(0.0)
+        return p.x < bound and p.y < bound
+
+    everyone = nodes + [agent.node for agent in entrants]
+    corner = [node for node in everyone if in_square(node, MOAT_INNER_M)]
+    moat = [node for node in everyone
+            if in_square(node, MOAT_OUTER_M)
+            and not in_square(node, MOAT_INNER_M)]
+
+    def cut() -> None:
+        for node in moat:
+            node.kill()
+        topo.invalidate_nodes(node.node_id for node in moat)
+        sim.run(until=sim.now + DETECT_WINDOW_S)
+
+    run_phase("detect", cut)
+    phases["detect"]["window_s"] = DETECT_WINDOW_S
+    phases["detect"]["moat_nodes"] = len(moat)
+    phases["detect"]["corner_nodes"] = len(corner)
+    phases["detect"]["corner_component"] = (
+        topo.component_size(corner[0].node_id) if corner else 0)
+
+    run_phase("recover", lambda: sim.run(until=sim.now + RECOVER_S))
+
+    # --- heal: the moat comes back, the network re-merges ------------
+    def heal() -> None:
+        for node in moat:
+            node.alive = True
+        topo.invalidate_nodes(node.node_id for node in moat)
+        sim.run(until=sim.now + HEAL_S)
+
+    run_phase("heal", heal)
+
+    agents = setup.agents + entrants
+    alive = [agent for agent in agents
+             if agent.node.alive and agent.is_configured()]
+    bound = [(agent.network_id, agent.ip) for agent in alive]
+    return {
+        "n": n,
+        "area_side_m": side,
+        "heads": len(setup.heads),
+        "spilled": setup.spilled,
+        "bootstrap": {
+            "wall_s": bootstrap_s,
+            "agents_per_s": n / bootstrap_s if bootstrap_s else 0.0,
+        },
+        "phases": phases,
+        "final": {
+            "configured": len(alive),
+            "networks": len({net for net, _ in bound}),
+            "addresses_unique": len(set(bound)) == len(bound),
+            "components": topo.component_count(),
+        },
+        "heap": {
+            "compactions": sim.compactions,
+            "final_size": sim.heap_size,
+            "final_pending": sim.pending_events,
+        },
+        "counters": _counters_union(ctx),
+    }
+
+
 def run_scale(quick: bool = False, seed: int = 11) -> Dict[str, Any]:
     """Run the scale matrix and return the ``BENCH_scale.json`` payload."""
     sizes = SCALE_SIZES_QUICK if quick else SCALE_SIZES_FULL
+    protocol_sizes = PROTOCOL_SIZES_QUICK if quick else PROTOCOL_SIZES_FULL
     rounds = ROUNDS
     return {
         "schema": SCALE_SCHEMA_VERSION,
@@ -260,6 +487,8 @@ def run_scale(quick: bool = False, seed: int = 11) -> Dict[str, Any]:
         "mobile_fraction": MOBILE_FRACTION,
         "sizes": {str(n): _run_size(n, seed=seed, rounds=rounds)
                   for n in sizes},
+        "protocol": {str(n): _run_protocol_size(n, seed=seed)
+                     for n in protocol_sizes},
     }
 
 
@@ -276,8 +505,15 @@ def check_scale_regression(
     counters (including the fault-churn deltas) may grow up to
     ``tolerance``; dropping below baseline is an improvement, never a
     failure.  Wall clock is never compared.
+
+    Two invariants of the run itself (not comparisons) also gate here:
+    the engine churn phase must stay on the delta-relabel path (zero
+    ``conn_full_relabels``), and the protocol detect window must issue
+    zero unbounded BFS walks and zero full relabels — partition
+    detection rides the connectivity labels or the gate fails.
     """
     failures: List[str] = []
+    failures.extend(_check_run_invariants(payload))
     for size, base_cell in baseline.get("sizes", {}).items():
         cell = payload.get("sizes", {}).get(size)
         if cell is None:
@@ -321,6 +557,67 @@ def check_scale_regression(
                             f"{base_value} -> {value} "
                             f"(+{(value / base_value - 1):.0%}, "
                             f"budget +{tolerance:.0%})")
+        base_heap = base_cell.get("heap", {})
+        heap = cell.get("heap", {})
+        for fact, base_value in base_heap.items():
+            value = heap.get(fact, 0)
+            if base_value > 0 and value > base_value * (1 + tolerance):
+                failures.append(
+                    f"n={size}: heap {fact} regressed "
+                    f"{base_value} -> {value} (amortization budget "
+                    f"+{tolerance:.0%})")
+    for size, base_cell in baseline.get("protocol", {}).items():
+        cell = payload.get("protocol", {}).get(size)
+        if cell is None:
+            continue
+        for fact in ("heads", "spilled"):
+            if cell.get(fact) != base_cell.get(fact):
+                failures.append(
+                    f"protocol n={size}: {fact} changed "
+                    f"{base_cell.get(fact)} -> {cell.get(fact)} "
+                    "(must be bit-identical)")
+        for fact, base_value in base_cell.get("final", {}).items():
+            if cell.get("final", {}).get(fact) != base_value:
+                failures.append(
+                    f"protocol n={size}: final {fact} changed "
+                    f"{base_value} -> {cell.get('final', {}).get(fact)} "
+                    "(must be bit-identical)")
+        for phase, base_phase in base_cell.get("phases", {}).items():
+            deltas = (cell.get("phases", {}).get(phase, {})
+                      .get("counters_delta", {}))
+            for counter, base_value in base_phase.get(
+                    "counters_delta", {}).items():
+                value = deltas.get(counter, 0)
+                if base_value > 0 and value > base_value * (1 + tolerance):
+                    failures.append(
+                        f"protocol n={size}: {phase} {counter} regressed "
+                        f"{base_value} -> {value} "
+                        f"(+{(value / base_value - 1):.0%}, "
+                        f"budget +{tolerance:.0%})")
+    return failures
+
+
+def _check_run_invariants(payload: Dict[str, Any]) -> List[str]:
+    """Baseline-independent invariants every scale run must satisfy."""
+    failures: List[str] = []
+    for size, cell in payload.get("sizes", {}).items():
+        churn_delta = cell.get("churn", {}).get("counters_delta", {})
+        if churn_delta.get("conn_full_relabels", 0):
+            failures.append(
+                f"n={size}: fault churn fell off the delta-relabel path "
+                f"({churn_delta['conn_full_relabels']} full relabels)")
+    for size, cell in payload.get("protocol", {}).items():
+        detect = cell.get("phases", {}).get("detect", {})
+        delta = detect.get("counters_delta", {})
+        for counter in ("bfs_unbounded", "conn_full_relabels"):
+            if delta.get(counter, 0):
+                failures.append(
+                    f"protocol n={size}: detect window issued "
+                    f"{delta[counter]} {counter} — partition detection "
+                    "must ride the connectivity labels")
+        if not cell.get("final", {}).get("addresses_unique", True):
+            failures.append(
+                f"protocol n={size}: duplicate addresses after heal")
     return failures
 
 
@@ -358,6 +655,15 @@ def main(argv: Optional[List[str]] = None) -> int:
               f"  3-hop x{QUERY_SOURCES} {wall['query_s_mean'] * 1e3:8.2f} ms"
               f"  edges={graph['edges']}"
               f"  shards={graph['shards']}")
+    for size, cell in payload.get("protocol", {}).items():
+        detect = cell["phases"]["detect"]["counters_delta"]
+        print(f"protocol n={size:>6}"
+              f"  bootstrap {cell['bootstrap']['wall_s'] * 1e3:9.1f} ms"
+              f"  storm {cell['phases']['storm']['configured']}"
+              f"/{cell['phases']['storm']['entrants']} configured"
+              f"  detect unbounded-bfs={detect.get('bfs_unbounded', 0)}"
+              f"  label-hits={detect.get('conn_label_hits', 0)}"
+              f"  networks={cell['final']['networks']}")
     print(f"wrote {out_path}")
 
     if args.check:

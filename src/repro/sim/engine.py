@@ -50,6 +50,16 @@ class Simulator:
     #: though they are still a minority.
     COMPACT_MAX_TOMBSTONES = 32768
 
+    #: Amortization floor: after a compaction, at least this many
+    #: schedule operations must happen before the thresholds may
+    #: trigger another one.  Each compaction is O(heap), so without a
+    #: spacing rule a pathological cancel pattern hovering right at a
+    #: threshold pays the rebuild over and over; with it, the rebuilds
+    #: are amortized O(1) per schedule.  Tombstone *memory* stays
+    #: bounded: a cancel needs a prior schedule, so the interval admits
+    #: at most this many extra tombstones past the thresholds.
+    COMPACT_MIN_INTERVAL = 4096
+
     def __init__(self, seed: int = 0) -> None:
         self._now: float = 0.0
         self._heap: List[Event] = []
@@ -57,6 +67,9 @@ class Simulator:
         self._running: bool = False
         self._pending: int = 0
         self._compactions: int = 0
+        # Schedule-op count at the last compaction; primed so the first
+        # compaction is never delayed by the amortization interval.
+        self._last_compact_seq: int = -self.COMPACT_MIN_INTERVAL
         self.streams = RandomStreams(seed)
 
     # ------------------------------------------------------------------
@@ -139,6 +152,8 @@ class Simulator:
         heap = self._heap
         if len(heap) < self.COMPACT_MIN_SIZE:
             return
+        if self._seq - self._last_compact_seq < self.COMPACT_MIN_INTERVAL:
+            return  # amortization: a compaction ran too recently
         tombstones = len(heap) - self._pending
         if (tombstones <= len(heap) // 2
                 and tombstones <= self.COMPACT_MAX_TOMBSTONES):
@@ -162,6 +177,7 @@ class Simulator:
         heapq.heapify(live)
         self._heap = live
         self._compactions += 1
+        self._last_compact_seq = self._seq
 
     # ------------------------------------------------------------------
     # Execution

@@ -149,6 +149,60 @@ def test_free_addresses_sorted():
     assert pool.free_addresses() == [0, 2, 3]
 
 
+def test_allocate_many_matches_repeated_allocate():
+    bulk = pool_of(16)
+    loop = pool_of(16)
+    taken = bulk.allocate_many(5)
+    assert taken == [loop.allocate() for _ in range(5)]
+    assert bulk.allocated == loop.allocated
+    assert bulk.free_blocks() == loop.free_blocks()
+
+
+def test_allocate_many_after_fragmentation():
+    bulk = pool_of(16)
+    loop = pool_of(16)
+    for pool in (bulk, loop):
+        pool.allocate(preferred=1)
+        pool.allocate(preferred=6)
+    taken = bulk.allocate_many(7)
+    assert taken == [loop.allocate() for _ in range(7)]
+    assert bulk.free_blocks() == loop.free_blocks()
+
+
+def test_allocate_many_short_return_when_dry():
+    pool = pool_of(4)
+    assert pool.allocate_many(10) == [0, 1, 2, 3]
+    assert pool.free_count() == 0
+    assert pool.allocate_many(1) == []
+
+
+def test_allocate_many_zero_is_noop():
+    pool = pool_of(8)
+    assert pool.allocate_many(0) == []
+    assert pool.free_count() == 8
+    assert pool.free_blocks() == [Block(0, 8)]
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(0, 40), st.sets(st.integers(0, 31), max_size=10))
+def test_allocate_many_property_equivalence(count, holes):
+    bulk = AddressPool([Block(0, 32)])
+    loop = AddressPool([Block(0, 32)])
+    for a in sorted(holes):
+        bulk.allocate(preferred=a)
+        loop.allocate(preferred=a)
+    taken = bulk.allocate_many(count)
+    expected = []
+    for _ in range(count):
+        a = loop.allocate()
+        if a is None:
+            break
+        expected.append(a)
+    assert taken == expected
+    assert bulk.allocated == loop.allocated
+    assert bulk.free_blocks() == loop.free_blocks()
+
+
 # ---------------------------------------------------------------------------
 # Property: conservation — free + allocated always equals the original
 # space, through arbitrary operation sequences.

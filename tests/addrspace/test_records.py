@@ -86,6 +86,32 @@ def test_assigned_addresses():
     assert list(ledger.assigned_addresses()) == [2]
 
 
+def test_bulk_assign_matches_repeated_mark_assigned():
+    bulk = AddressLedger()
+    loop = AddressLedger()
+    pairs = [(1, 10), (2, 20), (3, None)]
+    bulk.bulk_assign(pairs)
+    for address, holder in pairs:
+        loop.mark_assigned(address, holder)
+    for address, holder in pairs:
+        rb, rl = bulk.get(address), loop.get(address)
+        assert rb.status is rl.status is AddressStatus.ASSIGNED
+        assert rb.timestamp == rl.timestamp == 1
+        assert rb.holder == rl.holder == holder
+
+
+def test_bulk_assign_bumps_existing_records():
+    ledger = AddressLedger()
+    ledger.mark_assigned(1, holder=5)  # ts 1
+    ledger.mark_free(1)                # ts 2
+    ledger.bulk_assign([(1, 9), (2, 7)])
+    assert ledger.get(1).timestamp == 3  # existing record: version bump
+    assert ledger.get(1).holder == 9
+    assert ledger.get(2).timestamp == 1  # fresh record: straight to ts 1
+    assert ledger.get(2).holder == 7
+    assert sorted(ledger.assigned_addresses()) == [1, 2]
+
+
 def test_contains_and_len():
     ledger = AddressLedger()
     assert 1 not in ledger

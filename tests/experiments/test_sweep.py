@@ -78,6 +78,23 @@ def test_parallel_sweep_identical_to_serial():
     assert parallel.stats.get("executed") == len(specs)
 
 
+def test_conn_label_counters_deterministic_serial_vs_parallel():
+    """The connectivity-label layer's counters are part of the recorded
+    run surface: a churny quorum run must exercise the label path and
+    produce bit-identical counters from serial and parallel sweeps."""
+    specs = [RunSpec("quorum", tiny(seed=s, num_nodes=24, speed_mps=10.0,
+                                    depart_fraction=0.4,
+                                    abrupt_probability=0.5,
+                                    settle_time=20.0))
+             for s in (1, 2)]
+    serial = SweepExecutor(workers=1).run(specs)
+    parallel = SweepExecutor(workers=2).run(specs)
+    for left, right in zip(serial.results, parallel.results):
+        assert left.perf_counters == right.perf_counters
+        assert left.perf_counters.get("conn_relabels", 0) > 0
+        assert left.perf_counters.get("conn_label_hits", 0) > 0
+
+
 def test_figure_identical_serial_vs_parallel():
     kwargs = dict(sizes=(12, 16), seeds=(1, 2), transmission_range=150.0)
     set_default_executor(SweepExecutor(workers=1))

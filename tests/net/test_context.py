@@ -7,10 +7,12 @@ from repro.net.context import NetworkContext
 
 
 class FakeAgent:
-    def __init__(self, ctx, node, allocator=False, configured=False):
+    def __init__(self, ctx, node, allocator=False, configured=False,
+                 network_id=None):
         self.node = node
         self._allocator = allocator
         self._configured = configured
+        self.network_id = network_id
         node.agent = self
         ctx.register(self)
 
@@ -25,10 +27,12 @@ def make_ctx():
     return NetworkContext.build(seed=1, transmission_range=150.0)
 
 
-def add(ctx, node_id, allocator=False, configured=False):
-    node = Node(node_id, Stationary(Point(node_id * 50.0, 0)))
+def add(ctx, node_id, allocator=False, configured=False, network_id=None,
+        x=None):
+    node = Node(node_id, Stationary(
+        Point(node_id * 50.0 if x is None else x, 0)))
     ctx.topology.add_node(node)
-    return FakeAgent(ctx, node, allocator, configured)
+    return FakeAgent(ctx, node, allocator, configured, network_id)
 
 
 def test_register_and_lookup():
@@ -71,3 +75,91 @@ def test_build_wires_components():
     assert ctx.transport.topology is ctx.topology
     assert ctx.transport.stats is ctx.stats
     assert ctx.hello.topology is ctx.topology
+
+
+def test_component_heads_sorted_and_configured_only():
+    ctx = make_ctx()
+    add(ctx, 3, allocator=True, configured=True, network_id=7)
+    add(ctx, 1, allocator=True, configured=True, network_id=7)
+    add(ctx, 2, configured=True, network_id=7)
+    add(ctx, 4, configured=False)  # unconfigured: invisible to the table
+    assert ctx.component_heads(2) == (1, 3)
+    assert ctx.component_head_networks(2) == frozenset({7})
+    assert ctx.component_networks(2) == frozenset({7})
+
+
+def test_component_networks_include_commons_not_just_heads():
+    ctx = make_ctx()
+    add(ctx, 1, allocator=True, configured=True, network_id=7)
+    # A configured common carrying a foreign network id (mid-merge).
+    add(ctx, 2, configured=True, network_id=9)
+    assert ctx.component_head_networks(1) == frozenset({7})
+    assert ctx.component_networks(1) == frozenset({7, 9})
+
+
+def test_component_tables_are_per_component():
+    ctx = make_ctx()
+    # Two clusters separated by far more than the 150 m range.
+    add(ctx, 1, allocator=True, configured=True, network_id=7, x=0.0)
+    add(ctx, 2, configured=True, network_id=7, x=100.0)
+    add(ctx, 11, allocator=True, configured=True, network_id=8, x=5000.0)
+    add(ctx, 12, configured=True, network_id=8, x=5100.0)
+    assert ctx.component_heads(2) == (1,)
+    assert ctx.component_heads(12) == (11,)
+    assert ctx.component_networks(2) == frozenset({7})
+    assert ctx.component_networks(12) == frozenset({8})
+    # Unknown node: conservative empty answers.
+    assert ctx.component_heads(99) == ()
+    assert ctx.component_head_networks(99) == frozenset()
+    assert ctx.component_networks(99) == frozenset()
+
+
+def test_component_tables_refresh_on_role_transition():
+    ctx = make_ctx()
+    head = add(ctx, 1, allocator=True, configured=True, network_id=7)
+    add(ctx, 2, configured=True, network_id=7)
+    assert ctx.component_heads(2) == (1,)
+    # Demote the head through the write-through hook: the epoch bump
+    # must invalidate the cached table without any clock advance.
+    head._allocator = False
+    ctx.agents.note_role(1, None)
+    assert ctx.component_heads(2) == ()
+    assert ctx.component_head_networks(2) == frozenset()
+
+
+def test_component_tables_refresh_on_network_transition():
+    ctx = make_ctx()
+    head = add(ctx, 1, allocator=True, configured=True, network_id=7)
+    add(ctx, 2, configured=True, network_id=7)
+    assert ctx.component_head_networks(2) == frozenset({7})
+    head.network_id = 9
+    ctx.agents.note_network(1, 9)
+    assert ctx.component_head_networks(2) == frozenset({9})
+    assert ctx.component_networks(2) == frozenset({7, 9})
+
+
+def test_component_tables_refresh_on_topology_split():
+    ctx = make_ctx()
+    # A 1 -- 2 -- 3 chain where 2 bridges the ends.
+    add(ctx, 1, allocator=True, configured=True, network_id=7, x=0.0)
+    bridge = add(ctx, 2, configured=True, network_id=7, x=100.0)
+    add(ctx, 3, configured=True, network_id=7, x=200.0)
+    assert ctx.component_heads(3) == (1,)
+    bridge.node.kill()
+    ctx.topology.invalidate_nodes([2])
+    # 3 is now cut off from the head; 1 still sees itself.
+    assert ctx.component_heads(3) == ()
+    assert ctx.component_heads(1) == (1,)
+
+
+def test_component_tables_ttl_backstop_catches_silent_changes():
+    ctx = make_ctx()
+    head = add(ctx, 1, allocator=True, configured=True, network_id=7)
+    add(ctx, 2, configured=True, network_id=7)
+    assert ctx.component_heads(2) == (1,)
+    # Mutate without the write-through hook: neither cache key moves,
+    # so only the TTL expiry can surface the change.
+    head._allocator = False
+    assert ctx.component_heads(2) == (1,)  # stale, within TTL
+    ctx.sim._now += NetworkContext.COMP_HEADS_TTL
+    assert ctx.component_heads(2) == ()

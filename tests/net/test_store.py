@@ -33,6 +33,40 @@ def test_duplicate_id_rejected():
         store.add(_node(1))
 
 
+def test_add_many_equivalent_to_add_loop():
+    batch = NodeStore()
+    loop = NodeStore()
+    nodes = [_node(i, x=float(i)) for i in (7, 3, 11, 5)]
+    assert batch.add_many(_node(n.node_id, x=float(n.node_id))
+                          for n in nodes) == 4
+    for node in nodes:
+        loop.add(node)
+    assert batch.ids == loop.ids
+    assert batch.slot_of == loop.slot_of
+    batch.refresh_positions(0.0)
+    loop.refresh_positions(0.0)
+    assert list(batch.xs) == list(loop.xs)
+
+
+def test_add_many_empty_batch():
+    store = NodeStore()
+    assert store.add_many([]) == 0
+    assert store.ids == []
+
+
+def test_add_many_duplicate_rejected_before_any_state_change():
+    store = NodeStore()
+    store.add(_node(1))
+    with pytest.raises(ValueError, match="duplicate node id"):
+        store.add_many([_node(2), _node(1)])  # clashes with resident
+    with pytest.raises(ValueError, match="duplicate node id"):
+        store.add_many([_node(3), _node(3)])  # clashes within batch
+    # A failed batch leaves the store exactly as it was.
+    assert store.ids == [1]
+    assert store.slot_of == {1: 0}
+    assert len(store.nodes) == len(store.xs) == len(store.ys) == 1
+
+
 def test_evict_tombstones_without_renumbering():
     store = NodeStore()
     for i in range(5):

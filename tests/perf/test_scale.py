@@ -20,6 +20,19 @@ def tiny_matrix(monkeypatch):
     # Keep the churned slice under the delta-rebuild dirty threshold
     # (25 %) at the shrunken population sizes.
     monkeypatch.setattr(scale, "CHURN_NODES", 16)
+    # Protocol phase, shrunk the same way: one small population, short
+    # phases, and a moat scaled to the smaller area — still wider than
+    # the transmission range (so the cut genuinely partitions) and
+    # still under the dirty threshold (so detection rides the deltas).
+    monkeypatch.setattr(scale, "PROTOCOL_SIZES_FULL", (200,))
+    monkeypatch.setattr(scale, "PROTOCOL_SIZES_QUICK", (200,))
+    monkeypatch.setattr(scale, "SETTLE_S", 6.0)
+    monkeypatch.setattr(scale, "STORM_ENTRANTS", 8)
+    monkeypatch.setattr(scale, "STORM_DRAIN_S", 5.0)
+    monkeypatch.setattr(scale, "RECOVER_S", 8.0)
+    monkeypatch.setattr(scale, "HEAL_S", 4.0)
+    monkeypatch.setattr(scale, "MOAT_INNER_M", 150.0)
+    monkeypatch.setattr(scale, "MOAT_OUTER_M", 320.0)
 
 
 def test_payload_schema_and_structure(tiny_matrix):
@@ -40,6 +53,13 @@ def test_payload_schema_and_structure(tiny_matrix):
         # Constant density: larger n means a larger area.
     assert (payload["sizes"]["250"]["area_side_m"]
             > payload["sizes"]["120"]["area_side_m"])
+    assert set(payload["protocol"]) == {"200"}
+    proto = payload["protocol"]["200"]
+    assert set(proto) >= {"n", "heads", "spilled", "bootstrap", "phases",
+                          "final", "heap", "counters"}
+    assert set(proto["phases"]) == {"storm", "detect", "recover", "heal"}
+    assert proto["bootstrap"]["wall_s"] > 0
+    assert proto["heads"] >= 1
 
 
 def test_deterministic_sections_are_reproducible(tiny_matrix):
@@ -48,6 +68,13 @@ def test_deterministic_sections_are_reproducible(tiny_matrix):
     for size in a["sizes"]:
         for key in ("counters", "graph", "heap"):
             assert a["sizes"][size][key] == b["sizes"][size][key]
+    for size in a["protocol"]:
+        pa, pb = a["protocol"][size], b["protocol"][size]
+        for key in ("counters", "final", "heads", "spilled", "heap"):
+            assert pa[key] == pb[key]
+        for phase in pa["phases"]:
+            assert (pa["phases"][phase]["counters_delta"]
+                    == pb["phases"][phase]["counters_delta"])
 
 
 def test_quick_mode_is_a_comparable_prefix_of_full(tiny_matrix):
@@ -147,6 +174,54 @@ def test_gate_flags_churn_delta_regressions(tiny_matrix):
     assert any("churn rounds differ" in f for f in failures)
 
 
+def test_protocol_phase_rides_the_labels(tiny_matrix):
+    """The partition/heal cycle must satisfy the run invariants the CI
+    gate enforces: a detect window with zero unbounded BFS walks and
+    zero full relabels, and a healed network with unique addresses."""
+    payload = scale.run_scale(quick=True)
+    assert scale._check_run_invariants(payload) == []
+    proto = payload["protocol"]["200"]
+    detect = proto["phases"]["detect"]
+    assert detect["counters_delta"].get("bfs_unbounded", 0) == 0
+    assert detect["counters_delta"].get("conn_full_relabels", 0) == 0
+    # The cut genuinely partitioned the population...
+    assert detect["moat_nodes"] > 0
+    assert 0 < detect["corner_component"] <= detect["corner_nodes"]
+    # ...and the detect-window relabel work was sized by the cut-off
+    # corner, not the population.
+    relabeled = detect["counters_delta"].get("conn_slots_relabeled", 0)
+    assert relabeled <= detect["moat_nodes"] + detect["corner_nodes"]
+    storm = proto["phases"]["storm"]
+    assert storm["configured"] == storm["entrants"]
+    assert proto["final"]["addresses_unique"] is True
+
+
+def test_gate_flags_protocol_invariant_violations(tiny_matrix):
+    baseline = scale.run_scale(quick=True)
+    run = json.loads(json.dumps(baseline))
+    detect = run["protocol"]["200"]["phases"]["detect"]
+    detect["counters_delta"]["bfs_unbounded"] = 7
+    failures = scale.check_scale_regression(run, baseline)
+    assert any("detect window issued 7 bfs_unbounded" in f
+               for f in failures)
+    detect["counters_delta"].pop("bfs_unbounded")
+    run["protocol"]["200"]["final"]["addresses_unique"] = False
+    failures = scale.check_scale_regression(run, baseline)
+    assert any("duplicate addresses" in f for f in failures)
+
+
+def test_gate_compares_protocol_sections(tiny_matrix):
+    baseline = scale.run_scale(quick=True)
+    run = json.loads(json.dumps(baseline))
+    proto = run["protocol"]["200"]
+    proto["heads"] += 1
+    storm = proto["phases"]["storm"]["counters_delta"]
+    storm["send_unicast"] = int(storm.get("send_unicast", 10) * 3)
+    failures = scale.check_scale_regression(run, baseline)
+    assert any("heads changed" in f for f in failures)
+    assert any("storm send_unicast regressed" in f for f in failures)
+
+
 def test_committed_baseline_matches_schema():
     """BENCH_scale.json at the repo root stays loadable and current."""
     from pathlib import Path
@@ -167,3 +242,16 @@ def test_committed_baseline_matches_schema():
     touched_per_rebuild = (delta["graph_shards_touched"]
                            / delta["graph_delta_rebuilds"])
     assert touched_per_rebuild * 10 <= big["graph"]["shards"]
+    # Schema v3: the full-protocol cells, and their headline fact —
+    # detect-window relabel cost tracks the cut-off component (a
+    # couple hundred slots), not the 10x larger population.
+    assert set(payload["protocol"]) == {"1000", "10000"}
+    assert scale._check_run_invariants(payload) == []
+    for cell in payload["protocol"].values():
+        storm = cell["phases"]["storm"]
+        assert storm["configured"] == storm["entrants"]
+        assert cell["final"]["networks"] == 1
+    small = payload["protocol"]["1000"]["phases"]["detect"]["counters_delta"]
+    large = payload["protocol"]["10000"]["phases"]["detect"]["counters_delta"]
+    assert large["conn_slots_relabeled"] <= 2 * max(
+        small["conn_slots_relabeled"], 1)

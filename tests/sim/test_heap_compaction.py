@@ -84,6 +84,37 @@ def test_tombstone_cap_triggers_compaction_in_large_heaps():
     assert sim.heap_size - sim.pending_events <= 50
 
 
+def test_compactions_amortized_by_min_interval():
+    """A cancel pattern hovering at a threshold must not pay the O(heap)
+    rebuild per cancel — compactions are spaced by schedule count."""
+    sim = Simulator()
+    sim.COMPACT_MAX_TOMBSTONES = 10  # trip the absolute cap constantly
+    for _ in range(8):
+        handles = [sim.schedule(float(i + 1), lambda: None)
+                   for i in range(256)]
+        for handle in handles:
+            sim.cancel(handle)
+    # 2048 schedules: at most ceil(2048 / interval) compactions may run
+    # (plus the primed first one), however often the cap was exceeded.
+    bound = 1 + -(-sim._seq // Simulator.COMPACT_MIN_INTERVAL)
+    assert 1 <= sim.compactions <= bound
+    # The spacing rule bounds tombstone memory too: between compactions
+    # at most COMPACT_MIN_INTERVAL extra tombstones can accumulate.
+    assert sim.heap_size - sim.pending_events <= (
+        sim.COMPACT_MAX_TOMBSTONES + Simulator.COMPACT_MIN_INTERVAL)
+
+
+def test_min_interval_does_not_delay_first_compaction():
+    sim = Simulator()
+    sim.COMPACT_MAX_TOMBSTONES = 10
+    handles = [sim.schedule(float(i + 1), lambda: None) for i in range(100)]
+    for handle in handles[30:]:
+        sim.cancel(handle)
+    # _last_compact_seq is primed negative, so the very first threshold
+    # trip compacts immediately even though seq < COMPACT_MIN_INTERVAL.
+    assert sim.compactions == 1
+
+
 def test_public_compact_purges_now_and_counts():
     sim = Simulator()
     handles = [sim.schedule(float(i + 1), lambda: None) for i in range(30)]
