@@ -64,7 +64,7 @@ from typing import (
 
 from repro.experiments.metrics import RunResult
 from repro.experiments.scenario import Scenario
-from repro.net.stats import Counters
+from repro.perf import Counters
 from repro.sim.rng import spawn_key
 
 CACHE_FORMAT_VERSION = 1

@@ -25,7 +25,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.faults.spec import CrashEvent, FaultSpec
-from repro.net.stats import Counters
+from repro.perf import Counters
 from repro.net.topology import Topology
 from repro.sim.engine import Simulator
 from repro.sim.rng import derive_seed, spawn_key

@@ -17,7 +17,7 @@ The CLI accepts a compact spec string (see :meth:`FaultSpec.parse`)::
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Tuple, Type
 
 from repro.sim.rng import spawn_key
 
@@ -44,7 +44,8 @@ class CrashEvent:
         if self.restart_at is not None and self.restart_at <= self.at:
             raise ValueError("CrashEvent.restart_at must be after at")
 
-    def __reduce__(self):
+    def __reduce__(
+            self) -> Tuple[Type["CrashEvent"], Tuple[object, ...]]:
         # Manual __slots__ (3.9-compatible) breaks default pickling of
         # frozen dataclasses; rebuild through the constructor instead.
         return (self.__class__, (self.node_id, self.at, self.restart_at))
@@ -73,7 +74,8 @@ class PartitionEvent:
         if self.heal_at <= self.at:
             raise ValueError("PartitionEvent.heal_at must be after at")
 
-    def __reduce__(self):
+    def __reduce__(
+            self) -> Tuple[Type["PartitionEvent"], Tuple[object, ...]]:
         return (self.__class__, (self.group, self.at, self.heal_at))
 
 

@@ -4,13 +4,20 @@ A dependency-free static analyzer enforcing the invariants the
 reproduction's guarantees rest on: simulated-clock-only time, named RNG
 streams, the unified ``Transport.send`` API, frozen message
 dataclasses, explicit BFS hop bounds, config-owned protocol timers,
-centralized quorum arithmetic, and a dependency-free runtime.
+centralized quorum arithmetic, and a dependency-free runtime — plus a
+whole-program pass (module/import/call graph) enforcing cross-module
+invariants: protocol state-machine conformance, obs-event coverage,
+RNG stream ownership, the perf counter registry and the layer DAG
+(spec: :mod:`repro.lint.protocol_spec`).
 
 Public surface:
 
 * :func:`run_lint` / :class:`LintReport` — programmatic entry point;
 * :class:`Rule`, :class:`Finding`, :class:`Severity`,
-  :class:`FileContext` — rule authoring (see docs/API.md);
+  :class:`FileContext` — per-file rule authoring (see docs/API.md);
+* :class:`ProjectGraph`, :class:`ProjectRule`,
+  :data:`~repro.lint.project_rules.PROJECT_RULES` — the whole-program
+  pass and its five cross-module rules;
 * :data:`ALL_RULES`, :data:`RULES_BY_NAME`, :func:`resolve_rules` —
   the built-in suite;
 * :class:`Baseline` — committed-findings support for ``--baseline``;
@@ -19,6 +26,8 @@ Public surface:
 
 from repro.lint.core import FileContext, Finding, Rule, Severity
 from repro.lint.engine import Baseline, LintReport, lint_file, run_lint
+from repro.lint.project import ProjectGraph, ProjectRule
+from repro.lint.project_rules import PROJECT_RULES
 from repro.lint.rules import ALL_RULES, RULES_BY_NAME, resolve_rules
 
 __all__ = [
@@ -27,6 +36,9 @@ __all__ = [
     "FileContext",
     "Finding",
     "LintReport",
+    "PROJECT_RULES",
+    "ProjectGraph",
+    "ProjectRule",
     "RULES_BY_NAME",
     "Rule",
     "Severity",

@@ -18,11 +18,13 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from pathlib import Path
 from typing import List, Optional, TextIO
 
 from repro.lint.engine import Baseline, LintReport, run_lint
-from repro.lint.rules import ALL_RULES, RULES_BY_NAME
+from repro.lint.project_rules import PROJECT_RULES
+from repro.lint.rules import ALL_RULES, all_rule_names
 
 #: Scanned when no paths are given (relative to the working directory);
 #: missing roots are skipped so the default works from a bare checkout.
@@ -37,12 +39,19 @@ def configure_parser(parser: argparse.ArgumentParser) -> None:
              f"(default: {' '.join(DEFAULT_ROOTS)})")
     parser.add_argument(
         "--select", nargs="+", metavar="RULE", default=None,
-        choices=sorted(RULES_BY_NAME),
+        choices=sorted(all_rule_names()),
         help="run only these rules")
     parser.add_argument(
         "--ignore", nargs="+", metavar="RULE", default=None,
-        choices=sorted(RULES_BY_NAME),
+        choices=sorted(all_rule_names()),
         help="skip these rules")
+    project_group = parser.add_mutually_exclusive_group()
+    project_group.add_argument(
+        "--project", dest="project", action="store_true", default=True,
+        help="run the whole-program pass (default)")
+    project_group.add_argument(
+        "--no-project", dest="project", action="store_false",
+        help="per-file rules only (fast single-file iteration)")
     parser.add_argument(
         "--format", choices=("text", "json"), default="text",
         help="stdout format (default: text)")
@@ -69,10 +78,12 @@ def configure_parser(parser: argparse.ArgumentParser) -> None:
 
 
 def _list_rules(out: TextIO) -> None:
-    width = max(len(rule.name) for rule in ALL_RULES)
-    for rule in ALL_RULES:
-        print(f"{rule.name:<{width}}  {rule.severity.value:<7}  "
-              f"{rule.description}", file=out)
+    rows = [(rule, "file") for rule in ALL_RULES]
+    rows += [(rule, "project") for rule in PROJECT_RULES]
+    width = max(len(rule.name) for rule, _ in rows)
+    for rule, kind in rows:
+        print(f"{rule.name:<{width}}  {kind:<7}  "
+              f"{rule.severity.value:<7}  {rule.description}", file=out)
 
 
 def _resolve_paths(raw: List[str]) -> List[Path]:
@@ -109,16 +120,19 @@ def run(args: argparse.Namespace, out: Optional[TextIO] = None) -> int:
                   file=sys.stderr)
             return 2
 
+    started = time.perf_counter()
     try:
         report = run_lint(
             paths,
             select=set(args.select) if args.select else None,
             ignore=set(args.ignore) if args.ignore else None,
             baseline=baseline,
+            project=args.project,
         )
     except (OSError, ValueError) as exc:
         print(f"repro lint: {exc}", file=sys.stderr)
         return 2
+    elapsed = time.perf_counter() - started
 
     if args.write_baseline is not None:
         target = Path(args.write_baseline)
@@ -127,20 +141,25 @@ def run(args: argparse.Namespace, out: Optional[TextIO] = None) -> int:
               f"to {target}", file=stream)
         return 0
 
-    return _emit(report, args, stream)
+    return _emit(report, args, stream, elapsed)
 
 
 def _emit(report: LintReport, args: argparse.Namespace,
-          stream: TextIO) -> int:
+          stream: TextIO, elapsed: float) -> int:
+    payload = report.to_json()
+    # Wall-clock of the analysis itself, so CI can spot lint
+    # performance regressions alongside finding regressions.
+    payload["elapsed_s"] = round(elapsed, 3)
     if args.out is not None:
         Path(args.out).write_text(
-            json.dumps(report.to_json(), indent=2, sort_keys=True) + "\n",
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
             encoding="utf-8")
     if args.format == "json":
-        print(json.dumps(report.to_json(), indent=2, sort_keys=True),
+        print(json.dumps(payload, indent=2, sort_keys=True),
               file=stream)
     else:
         print(report.render_text(), file=stream)
+        print(f"lint wall-clock: {elapsed:.2f}s", file=stream)
     return report.exit_code(strict=args.strict)
 
 

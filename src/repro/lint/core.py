@@ -27,7 +27,8 @@ import dataclasses
 import enum
 import re
 from pathlib import Path
-from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+from typing import (Dict, FrozenSet, Iterator, List, Optional, Protocol,
+                    Set, Tuple)
 
 _DIRECTIVE = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\- ]+)")
 
@@ -115,7 +116,8 @@ class FileContext:
         return self.module is not None and self.module in names
 
     # -- finding constructor ------------------------------------------
-    def finding(self, rule: "Rule", node: ast.AST, message: str) -> Finding:
+    def finding(self, rule: "RuleLike", node: ast.AST,
+                message: str) -> Finding:
         line = getattr(node, "lineno", 1)
         col = getattr(node, "col_offset", 0)
         text = self.lines[line - 1].strip() if 0 < line <= len(self.lines) \
@@ -148,6 +150,15 @@ def _scan_directives(
         else:
             file_disables |= rules
     return frozenset(file_disables), line_disables
+
+
+class RuleLike(Protocol):
+    """What a finding constructor needs from a rule — satisfied by both
+    per-file :class:`Rule` and whole-program
+    :class:`~repro.lint.project.ProjectRule` objects."""
+
+    name: str
+    severity: Severity
 
 
 class Rule(abc.ABC):

@@ -18,7 +18,8 @@ from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.lint.core import FileContext, Finding, Rule, Severity
-from repro.lint.rules import resolve_rules
+from repro.lint.project import ProjectGraph, ProjectRule
+from repro.lint.rules import AnyRule, resolve_rules
 
 BASELINE_SCHEMA_VERSION = 1
 JSON_SCHEMA_VERSION = 1
@@ -128,18 +129,23 @@ class LintReport:
         return "\n".join(lines)
 
 
-def lint_file(path: Path, rules: Sequence[Rule],
-              root: Optional[Path] = None) -> List[Finding]:
-    """Run ``rules`` over one file (suppressions applied)."""
+def parse_context(path: Path,
+                  root: Optional[Path] = None) -> FileContext:
+    """Parse one file into the :class:`FileContext` both passes share."""
     source = path.read_text(encoding="utf-8")
     tree = ast.parse(source, filename=str(path))
-    ctx = FileContext(
+    return FileContext(
         path=path,
         relpath=_relpath(path, root),
         module=module_name_for(path),
         source=source,
         tree=tree,
     )
+
+
+def check_context(ctx: FileContext,
+                  rules: Sequence[Rule]) -> List[Finding]:
+    """Run per-file ``rules`` over a parsed file (suppressions applied)."""
     findings: List[Finding] = []
     for rule in rules:
         if not rule.applies(ctx):
@@ -150,13 +156,26 @@ def lint_file(path: Path, rules: Sequence[Rule],
     return findings
 
 
+def lint_file(path: Path, rules: Sequence[Rule],
+              root: Optional[Path] = None) -> List[Finding]:
+    """Run per-file ``rules`` over one file (suppressions applied)."""
+    return check_context(parse_context(path, root=root), rules)
+
+
 def run_lint(paths: Sequence[Path],
              select: Optional[Set[str]] = None,
              ignore: Optional[Set[str]] = None,
-             rules: Optional[Sequence[Rule]] = None,
+             rules: Optional[Sequence[AnyRule]] = None,
              baseline: Optional["Baseline"] = None,
-             root: Optional[Path] = None) -> LintReport:
+             root: Optional[Path] = None,
+             project: bool = True) -> LintReport:
     """Lint ``paths`` and return a :class:`LintReport`.
+
+    Files are parsed once; the per-file rules see each
+    :class:`FileContext` in isolation, then the whole-program rules see
+    all of them at once through a :class:`ProjectGraph` (two-pass
+    collect-then-check).  Suppression directives apply identically to
+    both passes — a project finding anchors to a concrete file/line.
 
     Args:
         paths: files and/or directories to scan.
@@ -166,18 +185,37 @@ def run_lint(paths: Sequence[Path],
         baseline: known findings to report separately, not fail on.
         root: paths in findings are rendered relative to this directory
             (default: the current working directory).
+        project: run the whole-program pass (``--no-project`` in the
+            CLI turns this off for fast single-file iteration).
     """
     if rules is None:
-        rules = resolve_rules(select=select, ignore=ignore)
+        rules = resolve_rules(select=select, ignore=ignore, project=project)
+    file_rules = [r for r in rules if isinstance(r, Rule)]
+    project_rules = [r for r in rules if isinstance(r, ProjectRule)]
+    if not project:
+        project_rules = []
     files = iter_python_files([Path(p) for p in paths])
+    contexts: List[FileContext] = []
     findings: List[Finding] = []
     parse_errors: List[str] = []
     for path in files:
         try:
-            findings.extend(lint_file(path, rules, root=root))
+            ctx = parse_context(path, root=root)
         except SyntaxError as exc:
             parse_errors.append(f"{_relpath(path, root)}: {exc.msg} "
                                 f"(line {exc.lineno})")
+            continue
+        contexts.append(ctx)
+        findings.extend(check_context(ctx, file_rules))
+    if project_rules and contexts:
+        graph = ProjectGraph(contexts)
+        for rule in project_rules:
+            for finding in rule.check_project(graph):
+                ctx_for = graph.context_for(finding.path)
+                if ctx_for is not None and ctx_for.suppressed(
+                        finding.rule, finding.line):
+                    continue
+                findings.append(finding)
     findings.sort(key=Finding.sort_key)
     fresh: Tuple[Finding, ...] = tuple(findings)
     known: Tuple[Finding, ...] = ()

@@ -1,0 +1,250 @@
+"""The machine-readable protocol conformance spec.
+
+This module is pure data: the declarative statement of what the
+quorum-autoconfiguration protocol (Xu & Wu, ICDCS 2007) is *allowed*
+to do, checked against the implementation by the whole-program lint
+rules (:mod:`repro.lint.project_rules`).  It was generated from the
+implementation's call graph, then hand-reviewed against the paper's
+figures and docs/PROTOCOL.md — which carries the same transition table
+in markdown and is kept in lockstep by ``tests/lint/test_spec_drift.py``.
+
+Three families of facts live here:
+
+* **State machine** (:data:`HANDLER_MAY_SEND`) — for each protocol
+  message, the message types its handler may emit, directly or through
+  any helper it reaches (``_handle_com_req`` -> ``_start_vote`` ->
+  ``QUORUM_CLT`` counts).  The core allocation chain is the paper's
+  COM_REQ -> QUORUM_CLT -> QUORUM_CFM -> QUORUM_UPD -> COM_CFG ->
+  COM_ACK transaction; the rest covers cluster-head election (CH_*),
+  departure/return, reclamation (REC_*), replica maintenance and
+  partition merge.
+
+* **Observability** (:data:`EVENT_EMITTERS`, :data:`TERMINAL_PATHS`) —
+  which module may construct each of the 18 typed obs events, and
+  which *terminal* events each protocol terminal path must emit.
+
+* **Determinism** (:data:`STREAM_OWNERS`, :data:`GENERATOR_FLOWS`,
+  :data:`CACHE_KEY_SINKS`) plus the :data:`LAYERS` DAG.
+
+Changing protocol behavior legitimately?  Update the map here *and*
+the table in docs/PROTOCOL.md in the same commit — the lint run and
+the drift test each fail on a one-sided edit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Tuple
+
+#: Module anchors used by the rules to resolve references.
+MESSAGES_MODULE = "repro.core.messages"
+EVENTS_MODULE = "repro.obs.events"
+COUNTERS_MODULE = "repro.perf.counters"
+RNG_MODULE = "repro.sim.rng"
+
+#: ``self.<helper>(dst, m.TYPE, ...)`` calls that perform a send; the
+#: second argument is the message type.  ``Message(mtype=...)``
+#: constructions (broadcast floods) are detected structurally.
+SEND_HELPERS: FrozenSet[str] = frozenset({"_send", "_send_with_retry"})
+
+#: Packages whose ``_handle_*`` methods the state-machine rule governs.
+STATE_MACHINE_PACKAGES: FrozenSet[str] = frozenset(
+    {"repro.core", "repro.quorum"})
+
+
+def _fs(*names: str) -> FrozenSet[str]:
+    return frozenset(names)
+
+
+# ---------------------------------------------------------------------------
+# State machine: received message -> message types the handler may send
+# (transitively, through every helper its closure reaches).
+# ---------------------------------------------------------------------------
+HANDLER_MAY_SEND: Dict[str, FrozenSet[str]] = {
+    # --- bootstrap / first node ------------------------------------------
+    "INIT_REQ": _fs("INIT_DEFER"),
+    "INIT_DEFER": _fs(),
+    # --- the paper's allocation transaction ------------------------------
+    # A COM_REQ may be relayed to a better-stocked allocator (COM_REQ),
+    # answered with a vote round (QUORUM_CLT) or refused (COM_NACK); the
+    # commit path it reaches emits QUORUM_UPD + COM_CFG/CH_CFG, and the
+    # head's housekeeping on commit can fan out REPLICA_DIST, MERGE_JOIN
+    # (merge grace) and REC_AUDIT (self-audit) floods.
+    "COM_REQ": _fs("COM_REQ", "COM_NACK", "COM_CFG", "CH_CFG", "CH_NACK",
+                   "QUORUM_CLT", "QUORUM_UPD", "REPLICA_DIST",
+                   "MERGE_JOIN", "REC_AUDIT"),
+    "QUORUM_CLT": _fs("QUORUM_CFM", "MERGE_JOIN"),
+    "QUORUM_CFM": _fs("QUORUM_CLT", "QUORUM_UPD", "COM_CFG", "COM_NACK",
+                      "CH_CFG", "CH_NACK", "REPLICA_DIST"),
+    "QUORUM_UPD": _fs(),
+    "COM_CFG": _fs("COM_ACK", "COM_DECLINE"),
+    "COM_ACK": _fs(),
+    "COM_DECLINE": _fs("QUORUM_UPD", "REPLICA_DIST"),
+    "COM_NACK": _fs(),
+    # --- cluster-head election (CH_*) ------------------------------------
+    "CH_REQ": _fs("CH_PRP", "CH_NACK", "COM_NACK"),
+    "CH_PRP": _fs("CH_CNF", "CH_DECLINE"),
+    "CH_CNF": _fs("CH_CFG", "CH_NACK", "COM_CFG", "COM_NACK",
+                  "QUORUM_CLT", "QUORUM_UPD", "REPLICA_DIST"),
+    "CH_CFG": _fs("CH_ACK", "CH_DECLINE", "REPLICA_DIST"),
+    "CH_ACK": _fs(),
+    "CH_DECLINE": _fs("QUORUM_UPD", "REPLICA_DIST"),
+    "CH_NACK": _fs(),
+    # --- graceful departure / address return -----------------------------
+    "RETURN_ADDR": _fs("RETURN_ACK", "RETURN_FWD", "QUORUM_UPD"),
+    "RETURN_ACK": _fs(),
+    "RETURN_FWD": _fs("QUORUM_UPD"),
+    "CH_RETURN": _fs("CH_RETURN_ACK", "ALLOC_CHANGE", "REPLICA_DIST"),
+    "CH_RETURN_ACK": _fs(),
+    "RESIGN": _fs(),
+    "ALLOC_CHANGE": _fs(),
+    # --- reclamation of departed addresses (REC_*) ------------------------
+    "ADDR_REC": _fs("REC_REP", "REC_HOLDER"),
+    "REC_REP": _fs("REC_FWD"),
+    "REC_HOLDER": _fs(),
+    "REC_FWD": _fs(),
+    "REC_DELEGATE": _fs("REC_DELEGATE", "REC_SYNC"),
+    "REC_SYNC": _fs("REC_SYNC_ACK"),
+    "REC_SYNC_ACK": _fs(),
+    "REC_AUDIT": _fs("REC_CLAIMED"),
+    "REC_CLAIMED": _fs(),
+    # --- quorum-set replica maintenance ----------------------------------
+    "REPLICA_DIST": _fs("REPLICA_ACK", "MERGE_JOIN"),
+    "REPLICA_ACK": _fs(),
+    "REP_REQ": _fs("REP_ACK"),
+    "REP_ACK": _fs(),
+    # --- partition merge / location --------------------------------------
+    "MERGE_JOIN": _fs("MERGE_JOIN", "RESIGN", "CH_RETURN", "RETURN_ADDR"),
+    "UPDATE_LOC": _fs(),
+}
+
+
+# ---------------------------------------------------------------------------
+# Observability: who may construct each of the 18 typed obs events.
+# repro.obs.events itself (``from_record`` deserialization) is implicitly
+# exempt — the rule skips the defining module.
+# ---------------------------------------------------------------------------
+EVENT_EMITTERS: Dict[str, FrozenSet[str]] = {
+    "MessageSend": _fs("repro.net.transport"),
+    "AttemptStarted": _fs("repro.core.protocol"),
+    "ConfigRequested": _fs("repro.core.protocol"),
+    "VoteStarted": _fs("repro.core.protocol"),
+    "VoteReceived": _fs("repro.core.protocol"),
+    "VoteDecided": _fs("repro.core.protocol"),
+    "VoteTimeout": _fs("repro.core.protocol"),
+    "WriteBack": _fs("repro.core.protocol"),
+    "ConfigCommitted": _fs("repro.core.protocol"),
+    "ConfigAborted": _fs("repro.core.protocol"),
+    "ConfigCompleted": _fs("repro.core.protocol"),
+    "ConfigTimeout": _fs("repro.core.protocol"),
+    "RoleAssigned": _fs("repro.core.protocol"),
+    "AddressBorrowed": _fs("repro.core.protocol"),
+    "HeadHandoff": _fs("repro.core.departure"),
+    "QDSetChanged": _fs("repro.core.adjustment"),
+    "ReclamationEvent": _fs("repro.core.reclamation"),
+    "PartitionEvent": _fs("repro.core.partition"),
+}
+
+#: Event classes that end an allocation span.
+TERMINAL_EVENTS: FrozenSet[str] = _fs(
+    "ConfigCompleted", "ConfigCommitted", "ConfigAborted",
+    "ConfigTimeout", "VoteTimeout")
+
+#: For each terminal code path, the terminal events its closure must
+#: emit — exactly these, no more, no fewer.  Closures legitimately
+#: reach more than one terminal when a path has a failure fallback
+#: (commit aborts when the owner is unreachable; a vote timeout aborts
+#: the attempt it times out).
+TERMINAL_PATHS: Dict[str, FrozenSet[str]] = {
+    "repro.core.protocol.QuorumProtocolAgent._commit_common":
+        _fs("ConfigCommitted", "ConfigAborted"),
+    "repro.core.protocol.QuorumProtocolAgent._commit_head":
+        _fs("ConfigCommitted", "ConfigAborted"),
+    "repro.core.protocol.QuorumProtocolAgent._abort_attempt":
+        _fs("ConfigAborted"),
+    "repro.core.protocol.QuorumProtocolAgent._on_config_timeout":
+        _fs("ConfigTimeout", "ConfigCompleted"),
+    "repro.core.protocol.QuorumProtocolAgent._on_vote_timeout":
+        _fs("VoteTimeout", "ConfigAborted"),
+    "repro.core.protocol.QuorumProtocolAgent._handle_com_cfg":
+        _fs("ConfigCompleted"),
+    "repro.core.protocol.QuorumProtocolAgent._handle_ch_cfg":
+        _fs("ConfigCompleted"),
+}
+
+
+# ---------------------------------------------------------------------------
+# Determinism: named RNG stream ownership and legal generator flows.
+# ---------------------------------------------------------------------------
+
+#: Stream-name prefix -> the package that owns (creates and consumes)
+#: streams under that prefix.  Longest prefix wins.
+STREAM_OWNERS: Dict[str, str] = {
+    "faults.": "repro.faults",
+    "weakdad-": "repro.baselines",
+    "prophet-": "repro.baselines",
+    "dad-": "repro.baselines",
+    "scenario": "repro.experiments",
+    "placement": "repro.experiments",
+    "mobility-": "repro.experiments",
+}
+
+#: (consumer package, owner package) pairs allowed to pull another
+#: subsystem's named streams directly.  Empty by design: share the
+#: *seed*, fork a child stream at the boundary instead.
+STREAM_SHARING: FrozenSet[Tuple[str, str]] = frozenset()
+
+#: (source package, destination package) pairs where passing a live
+#: generator object across the boundary is part of the architecture:
+#: the scenario layer drives mobility models with per-node streams.
+GENERATOR_FLOWS: FrozenSet[Tuple[str, str]] = frozenset({
+    ("repro.experiments", "repro.mobility"),
+    ("repro.perf", "repro.mobility"),
+})
+
+#: Call targets a generator must never reach: cache keys and canonical
+#: serializations must be functions of seeds, not of generator state.
+CACHE_KEY_SINKS: FrozenSet[str] = frozenset({
+    "hashlib.sha256", "hashlib.sha1", "hashlib.md5", "hashlib.blake2b",
+    "json.dumps",
+})
+
+
+# ---------------------------------------------------------------------------
+# Layering: the enforced dependency DAG.  A module may import modules in
+# its own layer or below, never above.  Longest matching prefix wins,
+# so the perf *harnesses* (scale/bench drive the whole protocol) sit in
+# the harness layer while the recorder/registry they share stay low.
+# ---------------------------------------------------------------------------
+LAYERS: Dict[str, int] = {
+    # 0 — foundation: pure data structures, clocks, no repro deps
+    "repro.geometry": 0,
+    "repro.sim": 0,
+    "repro.addrspace": 0,
+    "repro.cluster": 0,
+    "repro.lint": 0,
+    # 1 — instruments: mobility models, perf recorder + counter registry
+    "repro.mobility": 1,
+    "repro.perf": 1,
+    # 2 — substrate: network, faults, observability
+    "repro.net": 2,
+    "repro.obs": 2,
+    "repro.faults": 2,
+    # 3 — protocol: the paper's state machines
+    "repro.core": 3,
+    "repro.quorum": 3,
+    # 4 — harness: experiments, baselines, CLIs, perf workloads
+    "repro.experiments": 4,
+    "repro.baselines": 4,
+    "repro.cli": 4,
+    "repro.perf.scale": 4,
+    "repro.perf.bench": 4,
+    "repro": 4,
+}
+
+LAYER_NAMES: Dict[int, str] = {
+    0: "foundation",
+    1: "instrument",
+    2: "substrate",
+    3: "protocol",
+    4: "harness",
+}

@@ -9,15 +9,19 @@ in the order they should be reported.
 from __future__ import annotations
 
 import ast
-from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import (Dict, Iterator, List, Optional, Sequence, Set, Tuple,
+                    Union)
 
 from repro.lint.core import FileContext, Finding, Rule, Severity
+from repro.lint.project import ProjectRule
+from repro.lint.project_rules import PROJECT_RULES
 
 # Packages whose runtime must stay deterministic and dependency-free.
 # repro.perf (wall-clock timers by design) and repro.experiments.sweep
 # (wall-clock reporting around the cached runs) are the two sanctioned
 # exceptions.
-_WALLCLOCK_ALLOWED = ("repro.perf", "repro.experiments.sweep")
+_WALLCLOCK_ALLOWED = ("repro.perf", "repro.experiments.sweep",
+                      "repro.lint.cli")
 
 _TIME_BANNED = {
     "time", "time_ns", "perf_counter", "perf_counter_ns",
@@ -88,8 +92,8 @@ class DeterminismRule(Rule):
 
     name = "determinism"
     description = ("time.time/perf_counter/datetime.now/module-level "
-                   "random are banned outside repro.perf and "
-                   "repro.experiments.sweep")
+                   "random are banned outside repro.perf, "
+                   "repro.experiments.sweep and the lint CLI")
     severity = Severity.ERROR
 
     def applies(self, ctx: FileContext) -> bool:
@@ -590,15 +594,35 @@ ALL_RULES: Tuple[Rule, ...] = (
 RULES_BY_NAME: Dict[str, Rule] = {rule.name: rule for rule in ALL_RULES}
 
 
+AnyRule = Union[Rule, ProjectRule]
+
+
+def all_rule_names() -> Tuple[str, ...]:
+    """Every known rule name, per-file and whole-program alike."""
+    return tuple(rule.name for rule in ALL_RULES) + tuple(
+        rule.name for rule in PROJECT_RULES)
+
+
 def resolve_rules(select: Optional[Set[str]] = None,
-                  ignore: Optional[Set[str]] = None) -> Tuple[Rule, ...]:
-    """The active rule tuple for a ``--select`` / ``--ignore`` pair."""
-    unknown = (set(select or ()) | set(ignore or ())) - set(RULES_BY_NAME)
+                  ignore: Optional[Set[str]] = None,
+                  project: bool = True) -> Tuple[AnyRule, ...]:
+    """The active rules for a ``--select`` / ``--ignore`` pair.
+
+    Returns a mixed tuple of per-file :class:`Rule` and whole-program
+    :class:`~repro.lint.project.ProjectRule` objects (the engine
+    dispatches on type); ``project=False`` drops the whole-program
+    pass entirely.
+    """
+    known = set(all_rule_names())
+    unknown = (set(select or ()) | set(ignore or ())) - known
     if unknown:
         raise ValueError(
             f"unknown rule(s): {', '.join(sorted(unknown))} "
-            f"(known: {', '.join(sorted(RULES_BY_NAME))})")
-    active = [rule for rule in ALL_RULES
+            f"(known: {', '.join(sorted(known))})")
+    candidates: Tuple[AnyRule, ...] = ALL_RULES
+    if project:
+        candidates = ALL_RULES + PROJECT_RULES
+    active = [rule for rule in candidates
               if (select is None or rule.name in select)
               and (ignore is None or rule.name not in ignore)]
     return tuple(active)

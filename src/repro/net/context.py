@@ -12,16 +12,17 @@ protocol needs from its routing substrate:
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Dict, FrozenSet, Optional, Tuple
+from typing import (TYPE_CHECKING, Any, Dict, FrozenSet, List,
+                    Optional, Set, Tuple)
 
 from repro.net.agents import AgentStore
 from repro.net.hello import HelloService
 from repro.net.node import Node
-from repro.net.stats import Counters, MessageStats
+from repro.net.stats import MessageStats
 from repro.net.topology import Topology
 from repro.net.transport import Transport
 from repro.obs.bus import EventBus
-from repro.perf import PerfRecorder
+from repro.perf import Counters, PerfRecorder
 from repro.sim.engine import Simulator
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -79,8 +80,8 @@ class NetworkContext:
         self._comp_heads_key: Tuple[int, int] = (-1, -1)
         self._comp_heads_at: float = -1.0
         self._comp_heads: Dict[int, Tuple[Tuple[int, ...],
-                                          FrozenSet[int],
-                                          FrozenSet[int]]] = {}
+                                          FrozenSet[Optional[int]],
+                                          FrozenSet[Optional[int]]]] = {}
 
     # ------------------------------------------------------------------
     # Agent registry
@@ -136,12 +137,13 @@ class NetworkContext:
     #: sim seconds — shorter than every periodic scan that consumes it.
     COMP_HEADS_TTL = 1.0
 
-    _NO_HEADS: Tuple[Tuple[int, ...], FrozenSet[int], FrozenSet[int]] = (
-        (), frozenset(), frozenset())
+    _NO_HEADS: Tuple[Tuple[int, ...], FrozenSet[Optional[int]],
+                     FrozenSet[Optional[int]]] = ((), frozenset(), frozenset())
 
     def _component_heads_entry(
         self, node_id: int
-    ) -> Tuple[Tuple[int, ...], FrozenSet[int], FrozenSet[int]]:
+    ) -> Tuple[Tuple[int, ...], FrozenSet[Optional[int]],
+               FrozenSet[Optional[int]]]:
         topology = self.topology
         # Query the labels first: this forces any pending rebuild, so
         # graph_version below reflects the graph being answered about.
@@ -152,15 +154,21 @@ class NetworkContext:
         now = self.sim.now
         if (key != self._comp_heads_key
                 or now - self._comp_heads_at >= self.COMP_HEADS_TTL):
-            table: Dict[int, Tuple[list, set, set]] = {}
+            table: Dict[int, Tuple[List[int], Set[Optional[int]],
+                                   Set[Optional[int]]]] = {}
             for nid, agent in self.agents.items():
                 if not self.is_configured(nid):
                     continue
                 comp = topology.component_id(nid)
+                if comp is None:
+                    continue
                 entry = table.get(comp)
                 if entry is None:
                     entry = table[comp] = ([], set(), set())
-                network = getattr(agent, "network_id", None)
+                # ``None`` network ids (configured agents mid-rejoin)
+                # stay in the sets on purpose: they make a component
+                # look heterogeneous, which keeps the merge scan alive.
+                network: Optional[int] = getattr(agent, "network_id", None)
                 entry[2].add(network)
                 if self.is_head(nid):
                     entry[0].append(nid)
@@ -183,14 +191,16 @@ class NetworkContext:
         bounded but still O(component) per asker per scan."""
         return self._component_heads_entry(node_id)[0]
 
-    def component_head_networks(self, node_id: int) -> FrozenSet[int]:
+    def component_head_networks(
+            self, node_id: int) -> FrozenSet[Optional[int]]:
         """Network ids that still have an allocator in ``node_id``'s
         component (empty when the component has no heads at all)."""
         return self._component_heads_entry(node_id)[1]
 
-    def component_networks(self, node_id: int) -> FrozenSet[int]:
+    def component_networks(self, node_id: int) -> FrozenSet[Optional[int]]:
         """Network ids of every configured node in ``node_id``'s
-        component — heads and commons.  A singleton set equal to the
+        component — heads and commons (``None`` for agents that are
+        configured but between networks).  A singleton set equal to the
         asker's own network means its partition is homogeneous: no
         bounded neighborhood scan can find a foreign network id."""
         return self._component_heads_entry(node_id)[2]

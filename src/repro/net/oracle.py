@@ -17,7 +17,10 @@ actually constructed.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Set, Tuple
+
+if TYPE_CHECKING:
+    import networkx as nx
 
 from repro.net.node import Node
 from repro.perf import PerfRecorder
@@ -47,7 +50,7 @@ class OracleTopology:
         self.transmission_range = transmission_range
         self.refresh_interval = refresh_interval
         self._nodes: Dict[int, Node] = {}
-        self._graph = None
+        self._graph: Optional[nx.Graph] = None
         self._graph_time: float = -1.0
         self._graph_version: int = 0
         self._bfs_cache: Dict[int, Dict[int, int]] = {}
@@ -83,7 +86,7 @@ class OracleTopology:
     # ------------------------------------------------------------------
     # Graph construction
     # ------------------------------------------------------------------
-    def graph(self):
+    def graph(self) -> nx.Graph:
         """The unit-disk graph over alive nodes at (approximately) now."""
         now = self.sim.now
         if (

@@ -13,6 +13,10 @@ import enum
 from collections import defaultdict
 from typing import Dict, Iterable, Tuple
 
+from repro.perf import Counters
+
+__all__ = ["Category", "Counters", "MessageStats"]
+
 
 class Category(enum.Enum):
     """Traffic classes matching the paper's overhead breakdown."""
@@ -24,45 +28,6 @@ class Category(enum.Enum):
     RECLAMATION = "reclamation"  # ADDR_REC / REC_REP and equivalents
     PARTITION = "partition"      # partition & merge handling
     HELLO = "hello"              # beaconing (common to all protocols)
-
-
-class Counters:
-    """A named, monotonically increasing counter set.
-
-    The same shape as :class:`MessageStats` but without the hop/message
-    pairing — for subsystems that just need tallies with a stable
-    reporting snapshot (the sweep executor counts scheduled / executed /
-    cached / failed runs through one of these).
-    """
-
-    def __init__(self) -> None:
-        self._counts: Dict[str, int] = defaultdict(int)
-
-    def incr(self, name: str, amount: int = 1) -> int:
-        """Add ``amount`` (default 1) to counter ``name``; return it."""
-        if amount < 0:
-            raise ValueError("amount must be non-negative")
-        self._counts[name] += amount
-        return self._counts[name]
-
-    def get(self, name: str) -> int:
-        # Plain lookup, not defaultdict access: reading a counter must
-        # not materialize a zero entry in the reporting snapshot.
-        return self._counts.get(name, 0)
-
-    def merge(self, other: "Counters") -> None:
-        """Fold another counter set into this one (sharded workers)."""
-        for name, value in other._counts.items():
-            self._counts[name] += value
-
-    def snapshot(self) -> Dict[str, int]:
-        """``{name: count}`` for every counter ever touched."""
-        return dict(self._counts)
-
-    def __repr__(self) -> str:
-        parts = ", ".join(
-            f"{k}={v}" for k, v in sorted(self._counts.items()) if v)
-        return f"Counters({parts})"
 
 
 class MessageStats:

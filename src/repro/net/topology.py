@@ -77,6 +77,7 @@ from repro.net.grid import ShardedGrid
 from repro.net.node import Node
 from repro.net.store import NodeStore
 from repro.perf import PerfRecorder
+from repro.perf import counters as cnt
 from repro.sim.engine import Simulator
 
 _INF = float("inf")
@@ -224,7 +225,7 @@ class Topology:
                 count += 1
         if count == 0:
             return
-        self.perf.incr("graph_node_invalidations", count)
+        self.perf.incr(cnt.GRAPH_NODE_INVALIDATIONS, count)
         self._members_dirty = True
         self._bfs_cache.clear()
 
@@ -259,10 +260,10 @@ class Topology:
             and now - self._graph_time <= self.refresh_interval
         ):
             return
-        self.perf.incr("graph_rebuilds")
-        with self.perf.timer("topology.rebuild"):
+        self.perf.incr(cnt.GRAPH_REBUILDS)
+        with self.perf.timer(cnt.TIMER_TOPOLOGY_REBUILD):
             alive, moved = self._nodes.refresh_positions(now)
-            self.perf.incr("graph_positions_recomputed",
+            self.perf.incr(cnt.GRAPH_POSITIONS_RECOMPUTED,
                            self._nodes.last_refresh_recomputed)
             if (
                 self._have_graph
@@ -290,7 +291,7 @@ class Topology:
             self._bfs_cache.clear()
 
     def _full_rebuild(self, alive: List[int]) -> None:
-        self.perf.incr("graph_full_rebuilds")
+        self.perf.incr(cnt.GRAPH_FULL_REBUILDS)
         self._ensure_capacity()
         # Slot-to-label assignments cannot survive a wholesale rebuild
         # (compaction may even have renumbered slots); the next label
@@ -309,7 +310,7 @@ class Topology:
         grid = self._grid
         # Slots ascending => cell buckets are rank-ordered.
         grid.rebuild((slot, xs[slot], ys[slot]) for slot in alive)
-        self.perf.incr("graph_shards_touched", grid.shard_count)
+        self.perf.incr(cnt.GRAPH_SHARDS_TOUCHED, grid.shard_count)
         limit = self.transmission_range ** 2
         edges = 0
         # Each unordered cell pair is visited exactly once: within the
@@ -348,7 +349,7 @@ class Topology:
         # networkx iteration order bit for bit.
         for slot in alive:
             adj[slot].sort()
-        self.perf.incr("graph_edges_built", edges)
+        self.perf.incr(cnt.GRAPH_EDGES_BUILT, edges)
 
     def _try_delta_rebuild(
         self,
@@ -385,8 +386,8 @@ class Topology:
             return None
         if dirty_count == 0:
             return False  # refresh-interval expiry, nobody moved
-        self.perf.incr("graph_delta_rebuilds")
-        self.perf.incr("graph_delta_dirty_nodes", dirty_count)
+        self.perf.incr(cnt.GRAPH_DELTA_REBUILDS)
+        self.perf.incr(cnt.GRAPH_DELTA_DIRTY_NODES, dirty_count)
         adj = self._adj
         grid = self._grid
         xs, ys = store.xs, store.ys
@@ -447,8 +448,8 @@ class Topology:
                     insort(adj[slot], u)
                     insort(adj[u], slot)
                     edges += 1
-        self.perf.incr("graph_edges_built", edges)
-        self.perf.incr("graph_shards_touched", grid.dirty_shard_count)
+        self.perf.incr(cnt.GRAPH_EDGES_BUILT, edges)
+        self.perf.incr(cnt.GRAPH_SHARDS_TOUCHED, grid.dirty_shard_count)
         grid.clear_dirty()
         # Membership changed in place; rebuild the ascending slot list.
         if added or removed:
@@ -481,8 +482,8 @@ class Topology:
         its minimum slot, so table entries are discovered in canonical
         order and the whole procedure is deterministic.
         """
-        self.perf.incr("conn_relabels")
-        self.perf.incr("conn_full_relabels")
+        self.perf.incr(cnt.CONN_RELABELS)
+        self.perf.incr(cnt.CONN_FULL_RELABELS)
         cap = max(self._nodes.capacity, len(self._in_graph))
         comp_of = [-1] * cap
         self._comp_of = comp_of
@@ -516,7 +517,7 @@ class Topology:
             members[idx] = comp
         self._comp_next = nxt
         self._labels_valid = True
-        self.perf.incr("conn_slots_relabeled", len(self._graph_slots))
+        self.perf.incr(cnt.CONN_SLOTS_RELABELED, len(self._graph_slots))
 
     def _delta_relabel(
         self,
@@ -543,8 +544,8 @@ class Topology:
         cost is bounded by the dirty region plus any genuinely split or
         merged components, never the population.
         """
-        self.perf.incr("conn_relabels")
-        self.perf.incr("conn_delta_relabels")
+        self.perf.incr(cnt.CONN_RELABELS)
+        self.perf.incr(cnt.CONN_DELTA_RELABELS)
         comp_of = self._comp_of
         members = self._comp_members
         relabeled = 0
@@ -565,7 +566,7 @@ class Topology:
                 relabeled += self._verify_or_split(idx, bset)
         # 3) label the re-inserted slots
         relabeled += self._label_reinserted(reinserted)
-        self.perf.incr("conn_slots_relabeled", relabeled)
+        self.perf.incr(cnt.CONN_SLOTS_RELABELED, relabeled)
 
     def _verify_or_split(self, idx: int, bset: Set[int]) -> int:
         """Confirm component ``idx`` survived its detachments intact,
@@ -708,7 +709,7 @@ class Topology:
         slot = self._graph_slot(node_id)
         if slot is None:
             return None
-        self.perf.incr("conn_label_hits")
+        self.perf.incr(cnt.CONN_LABEL_HITS)
         return self._nodes.ids[self._comp_members[self._comp_of[slot]][0]]
 
     def same_component(self, a: int, b: int) -> bool:
@@ -726,7 +727,7 @@ class Topology:
         slot_b = self._graph_slot(b)
         if slot_b is None:
             return False
-        self.perf.incr("conn_label_hits")
+        self.perf.incr(cnt.CONN_LABEL_HITS)
         return self._comp_of[slot_a] == self._comp_of[slot_b]
 
     def component_size(self, component_id: int) -> int:
@@ -739,7 +740,7 @@ class Topology:
         slot = self._graph_slot(component_id)
         if slot is None:
             return 0
-        self.perf.incr("conn_label_hits")
+        self.perf.incr(cnt.CONN_LABEL_HITS)
         return len(self._comp_members[self._comp_of[slot]])
 
     def component_members(self, component_id: int) -> List[int]:
@@ -752,14 +753,14 @@ class Topology:
         slot = self._graph_slot(component_id)
         if slot is None:
             return []
-        self.perf.incr("conn_label_hits")
+        self.perf.incr(cnt.CONN_LABEL_HITS)
         ids = self._nodes.ids
         return [ids[s] for s in self._comp_members[self._comp_of[slot]]]
 
     def component_count(self) -> int:
         """Number of connected components in the current graph."""
         self._ensure_labels()
-        self.perf.incr("conn_label_hits")
+        self.perf.incr(cnt.CONN_LABEL_HITS)
         return len(self._comp_members)
 
     # ------------------------------------------------------------------
@@ -830,17 +831,17 @@ class Topology:
         if cached is not None:
             depth, complete, lengths = cached
             if complete or depth >= need:
-                self.perf.incr("bfs_cache_hits")
+                self.perf.incr(cnt.BFS_CACHE_HITS)
                 return lengths
-        self.perf.incr("bfs_calls")
+        self.perf.incr(cnt.BFS_CALLS)
         if need == _INF:
             # An actual whole-component walk is about to run (memo
             # misses only) — the counter the protocol call-site rework
             # drives to zero.
-            self.perf.incr("bfs_unbounded")
-        with self.perf.timer("topology.bfs"):
+            self.perf.incr(cnt.BFS_UNBOUNDED)
+        with self.perf.timer(cnt.TIMER_TOPOLOGY_BFS):
             lengths, complete, expanded = self._run_bfs(node_id, need)
-        self.perf.incr("bfs_nodes_expanded", expanded)
+        self.perf.incr(cnt.BFS_NODES_EXPANDED, expanded)
         self._bfs_cache[node_id] = (need, complete, lengths)
         return lengths
 
@@ -985,7 +986,7 @@ class Topology:
             return False
         comp_of = self._comp_of
         target = comp_of[first]
-        self.perf.incr("conn_label_hits")
+        self.perf.incr(cnt.CONN_LABEL_HITS)
         for other in ids[1:]:
             slot = self._graph_slot(other)
             if slot is None or comp_of[slot] != target:

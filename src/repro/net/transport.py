@@ -33,7 +33,8 @@ from __future__ import annotations
 
 import dataclasses
 import enum
-from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
+from typing import (TYPE_CHECKING, Callable, Dict, List, Optional,
+                    Tuple, Type)
 
 from repro.net.message import Message
 from repro.net.node import Node
@@ -42,6 +43,7 @@ from repro.net.topology import Topology
 from repro.obs.bus import EventBus
 from repro.obs.events import MessageSend
 from repro.perf import PerfRecorder
+from repro.perf import counters as cnt
 from repro.sim.engine import Simulator
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -92,7 +94,8 @@ class SendOutcome:
     eccentricity: int
     dropped: int
 
-    def __reduce__(self):
+    def __reduce__(
+            self) -> Tuple[Type["SendOutcome"], Tuple[object, ...]]:
         # Manual __slots__ (3.9-compatible) breaks default pickling of
         # frozen dataclasses; rebuild through the constructor instead.
         return (self.__class__, (self.ok, self.hops, self.receivers,
@@ -193,8 +196,8 @@ class Transport:
           heads process ADDR_REC), but forwarding — and therefore cost
           — is unaffected by it.
         """
-        self.perf.incr(f"send_{scope.value}")
-        with self.perf.timer("transport.send"):
+        self.perf.incr(cnt.send_counter(scope.value))
+        with self.perf.timer(cnt.TIMER_TRANSPORT_SEND):
             if scope is Scope.UNICAST:
                 if dst is None:
                     raise ValueError("scope=UNICAST requires a destination")
@@ -271,7 +274,7 @@ class Transport:
             # itself is shared by all receivers — no per-receiver copy.
             self._schedule_delivery(self.per_hop_delay, node, msg)
         if len(receivers) > 1:
-            self.perf.incr("msg_fanout_shared", len(receivers) - 1)
+            self.perf.incr(cnt.MSG_FANOUT_SHARED, len(receivers) - 1)
         return SendOutcome(True, 0, tuple(receivers), 1,
                            1 if receivers else 0, dropped)
 
@@ -330,7 +333,7 @@ class Transport:
                 self._schedule_delivery(
                     hops * self.per_hop_delay, node, delivered)
         if delivered_count > len(copies):
-            self.perf.incr("msg_fanout_shared",
+            self.perf.incr(cnt.MSG_FANOUT_SHARED,
                            delivered_count - len(copies))
         self.stats.charge(category, forwarders, messages=forwarders)
         return SendOutcome(True, 0, tuple(receivers), forwarders,

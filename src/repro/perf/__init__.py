@@ -28,12 +28,52 @@ shared recorder per run, exposed as ``ctx.perf``).
 from __future__ import annotations
 
 import time
+from collections import defaultdict
 from contextlib import contextmanager
 from typing import Callable, Dict, Iterator, List, Tuple
 
-from repro.net.stats import Counters
+__all__ = ["Counters", "PerfRecorder", "TimerStat"]
 
-__all__ = ["PerfRecorder", "TimerStat"]
+
+class Counters:
+    """A named, monotonically increasing counter set.
+
+    The same shape as :class:`repro.net.stats.MessageStats` but without
+    the hop/message pairing — for subsystems that just need tallies
+    with a stable reporting snapshot (the sweep executor counts
+    scheduled / executed / cached / failed runs through one of these).
+    Lives here, below the network substrate, because the recorder and
+    the fault layer both count through it.
+    """
+
+    def __init__(self) -> None:
+        self._counts: Dict[str, int] = defaultdict(int)
+
+    def incr(self, name: str, amount: int = 1) -> int:
+        """Add ``amount`` (default 1) to counter ``name``; return it."""
+        if amount < 0:
+            raise ValueError("amount must be non-negative")
+        self._counts[name] += amount
+        return self._counts[name]
+
+    def get(self, name: str) -> int:
+        # Plain lookup, not defaultdict access: reading a counter must
+        # not materialize a zero entry in the reporting snapshot.
+        return self._counts.get(name, 0)
+
+    def merge(self, other: "Counters") -> None:
+        """Fold another counter set into this one (sharded workers)."""
+        for name, value in other._counts.items():
+            self._counts[name] += value
+
+    def snapshot(self) -> Dict[str, int]:
+        """``{name: count}`` for every counter ever touched."""
+        return dict(self._counts)
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{k}={v}" for k, v in sorted(self._counts.items()) if v)
+        return f"Counters({parts})"
 
 
 class TimerStat:

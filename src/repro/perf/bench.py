@@ -33,6 +33,7 @@ from repro.geometry import Point
 from repro.mobility.base import Stationary
 from repro.net.node import Node
 from repro.net.topology import Topology
+from repro.perf import counters as cnt
 from repro.sim.engine import Simulator
 from repro.sim.rng import generator_from_seed
 
@@ -231,9 +232,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     for name, cell in payload["scenarios"].items():
         counters = cell["counters"]
         print(f"{name:<18} {cell['wall_s']:6.2f} s"
-              f"  bfs_calls={counters.get('bfs_calls', 0)}"
-              f"  bfs_nodes_expanded={counters.get('bfs_nodes_expanded', 0)}"
-              f"  rebuilds={counters.get('graph_rebuilds', 0)}")
+              f"  bfs_calls={counters.get(cnt.BFS_CALLS, 0)}"
+              f"  bfs_nodes_expanded={counters.get(cnt.BFS_NODES_EXPANDED, 0)}"
+              f"  rebuilds={counters.get(cnt.GRAPH_REBUILDS, 0)}")
     print(f"wrote {out_path}")
 
     if args.check:

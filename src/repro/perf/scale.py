@@ -86,6 +86,7 @@ from repro.net.context import NetworkContext
 from repro.net.node import Node
 from repro.net.topology import Topology
 from repro.perf import PerfRecorder
+from repro.perf import counters as cnt
 from repro.sim.engine import Simulator
 from repro.sim.rng import generator_from_seed
 
@@ -602,14 +603,14 @@ def _check_run_invariants(payload: Dict[str, Any]) -> List[str]:
     failures: List[str] = []
     for size, cell in payload.get("sizes", {}).items():
         churn_delta = cell.get("churn", {}).get("counters_delta", {})
-        if churn_delta.get("conn_full_relabels", 0):
+        if churn_delta.get(cnt.CONN_FULL_RELABELS, 0):
             failures.append(
                 f"n={size}: fault churn fell off the delta-relabel path "
-                f"({churn_delta['conn_full_relabels']} full relabels)")
+                f"({churn_delta[cnt.CONN_FULL_RELABELS]} full relabels)")
     for size, cell in payload.get("protocol", {}).items():
         detect = cell.get("phases", {}).get("detect", {})
         delta = detect.get("counters_delta", {})
-        for counter in ("bfs_unbounded", "conn_full_relabels"):
+        for counter in (cnt.BFS_UNBOUNDED, cnt.CONN_FULL_RELABELS):
             if delta.get(counter, 0):
                 failures.append(
                     f"protocol n={size}: detect window issued "
@@ -661,8 +662,8 @@ def main(argv: Optional[List[str]] = None) -> int:
               f"  bootstrap {cell['bootstrap']['wall_s'] * 1e3:9.1f} ms"
               f"  storm {cell['phases']['storm']['configured']}"
               f"/{cell['phases']['storm']['entrants']} configured"
-              f"  detect unbounded-bfs={detect.get('bfs_unbounded', 0)}"
-              f"  label-hits={detect.get('conn_label_hits', 0)}"
+              f"  detect unbounded-bfs={detect.get(cnt.BFS_UNBOUNDED, 0)}"
+              f"  label-hits={detect.get(cnt.CONN_LABEL_HITS, 0)}"
               f"  networks={cell['final']['networks']}")
     print(f"wrote {out_path}")
 

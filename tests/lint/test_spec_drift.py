@@ -1,0 +1,81 @@
+"""docs/PROTOCOL.md and protocol_spec.py must carry the same machine.
+
+The state-machine conformance spec lives twice: as Python data
+(``repro.lint.protocol_spec.HANDLER_MAY_SEND``, what the lint rule
+enforces) and as the generated markdown table in docs/PROTOCOL.md
+(what humans read next to the paper walkthrough).  A one-sided edit —
+changing the spec without regenerating the table, or hand-editing the
+table — is drift, and this test fails on it.
+"""
+
+import re
+from pathlib import Path
+from typing import Dict, FrozenSet
+
+from repro.lint import protocol_spec as spec
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+PROTOCOL_MD = REPO_ROOT / "docs" / "PROTOCOL.md"
+
+BEGIN = "<!-- state-machine-table:begin"
+END = "<!-- state-machine-table:end -->"
+ROW = re.compile(r"^\|\s*`([A-Z_]+)`\s*\|\s*(.*?)\s*\|$")
+
+
+def _table_from_docs() -> Dict[str, FrozenSet[str]]:
+    text = PROTOCOL_MD.read_text(encoding="utf-8")
+    assert BEGIN in text and END in text, (
+        "docs/PROTOCOL.md lost its state-machine table markers")
+    block = text[text.index(BEGIN):text.index(END)]
+    table: Dict[str, FrozenSet[str]] = {}
+    for line in block.splitlines():
+        match = ROW.match(line.strip())
+        if match is None:
+            continue
+        mtype, cell = match.groups()
+        if cell == "—":
+            table[mtype] = frozenset()
+        else:
+            table[mtype] = frozenset(
+                name.strip("` ") for name in cell.split(","))
+    return table
+
+
+def test_docs_table_matches_spec():
+    docs = _table_from_docs()
+    assert set(docs) == set(spec.HANDLER_MAY_SEND), (
+        "message rows differ between docs/PROTOCOL.md and protocol_spec: "
+        f"docs-only={sorted(set(docs) - set(spec.HANDLER_MAY_SEND))}, "
+        f"spec-only={sorted(set(spec.HANDLER_MAY_SEND) - set(docs))}")
+    for mtype, may_send in spec.HANDLER_MAY_SEND.items():
+        assert docs[mtype] == may_send, (
+            f"{mtype}: docs says {sorted(docs[mtype])}, "
+            f"spec says {sorted(may_send)}")
+
+
+def test_spec_messages_exist_in_messages_module():
+    from repro.core import messages as m
+    declared = {name for name in dir(m)
+                if name.isupper() and isinstance(getattr(m, name), str)}
+    unknown = set(spec.HANDLER_MAY_SEND) - declared
+    sendable = {s for may in spec.HANDLER_MAY_SEND.values() for s in may}
+    assert unknown == set(), f"spec rows for unknown messages: {unknown}"
+    assert sendable - declared == set(), (
+        f"spec allows sending unknown messages: {sendable - declared}")
+
+
+def test_terminal_events_are_a_subset_of_emitters():
+    assert spec.TERMINAL_EVENTS <= set(spec.EVENT_EMITTERS)
+    for path, terminals in spec.TERMINAL_PATHS.items():
+        assert terminals <= spec.TERMINAL_EVENTS, (
+            f"{path} assigned non-terminal events "
+            f"{sorted(terminals - spec.TERMINAL_EVENTS)}")
+
+
+def test_spec_events_match_obs_module():
+    from repro.obs import events as ev
+    declared = {cls.__name__ for cls in ev.EVENT_TYPES.values()}
+    assert set(spec.EVENT_EMITTERS) == declared, (
+        "EVENT_EMITTERS out of sync with repro.obs.events: "
+        f"spec-only={sorted(set(spec.EVENT_EMITTERS) - declared)}, "
+        f"obs-only={sorted(declared - set(spec.EVENT_EMITTERS))}")
