@@ -35,6 +35,10 @@ class AddressPool:
     def allocated(self) -> Set[int]:
         return set(self._allocated)
 
+    def allocated_count(self) -> int:
+        """Addresses handed out, without copying the set (cheap read)."""
+        return len(self._allocated)
+
     def free_count(self) -> int:
         return sum(b.size for b in self._free_blocks)
 

@@ -10,6 +10,7 @@ Subcommands::
     python -m repro bench    --quick          # topology perf matrix
     python -m repro lint     --strict         # static invariant checks
     python -m repro trace    --nodes 30 --seed 1 --format spans
+    python -m repro metrics  --nodes 30 --seed 1 --format spark
 
 ``run`` prints the quickstart-style report for one protocol; ``compare``
 tabulates all protocols on the same workload; ``figure`` regenerates a
@@ -26,6 +27,13 @@ trees, JSONL or an outcome summary.
 report span aggregates) and ``--trace-out FILE`` (append each traced
 run's JSONL to FILE; implies ``--trace`` and forces serial execution,
 since worker processes do not inherit the export sink).
+
+``metrics`` mirrors ``trace`` for the run-level gauge series
+(:mod:`repro.obs.metrics`): it records one scenario — or reloads a
+``--metrics-out`` JSONL export via ``--in`` — and renders sparklines,
+a stats table, CSV or JSONL.  ``run``, ``figure`` and ``sweep``
+accept ``--metrics`` / ``--metrics-period`` / ``--metrics-out`` with
+the same semantics as the trace flags.
 """
 
 from __future__ import annotations
@@ -59,9 +67,18 @@ from repro.obs import (
     events_from_jsonl,
     events_to_jsonl,
     filter_events,
+    series_from_jsonl,
+    series_to_csv,
+    series_to_jsonl,
+    set_metrics_export,
     set_trace_export,
 )
-from repro.obs.render import render_spans, render_summary, render_timeline
+from repro.obs.render import (
+    render_metrics,
+    render_spans,
+    render_summary,
+    render_timeline,
+)
 
 FIGURES = {
     "fig05": figures.fig05_latency_vs_size,
@@ -116,11 +133,24 @@ def build_parser() -> argparse.ArgumentParser:
                        help="append each traced run's JSONL to FILE "
                             "(implies --trace; forces serial execution)")
 
+    def add_metrics_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--metrics", action="store_true",
+                       help="sample run-level gauge series "
+                            "(repro.obs.metrics) on a sim-time cadence")
+        p.add_argument("--metrics-period", type=float, default=None,
+                       metavar="S",
+                       help="sampling cadence in simulated seconds "
+                            "(default: 1.0; implies --metrics)")
+        p.add_argument("--metrics-out", default=None, metavar="FILE",
+                       help="append each run's metrics JSONL to FILE "
+                            "(implies --metrics; forces serial execution)")
+
     run_p = sub.add_parser("run", help="run one protocol, print a report")
     add_scenario_args(run_p)
     run_p.add_argument("--protocol", choices=sorted(PROTOCOLS),
                        default="quorum")
     add_trace_args(run_p)
+    add_metrics_args(run_p)
 
     cmp_p = sub.add_parser("compare", help="all protocols, one table")
     add_scenario_args(cmp_p)
@@ -136,6 +166,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "the figure only executes missing cells")
     add_faults_arg(fig_p)
     add_trace_args(fig_p)
+    add_metrics_args(fig_p)
 
     sw_p = sub.add_parser(
         "sweep", help="run a (protocol x size x seed) grid in parallel")
@@ -164,6 +195,7 @@ def build_parser() -> argparse.ArgumentParser:
                            "aggregates) to FILE")
     add_faults_arg(sw_p)
     add_trace_args(sw_p)
+    add_metrics_args(sw_p)
 
     tr_p = sub.add_parser(
         "trace",
@@ -191,6 +223,28 @@ def build_parser() -> argparse.ArgumentParser:
                            "outcome tally")
     tr_p.add_argument("--out", default=None, metavar="FILE",
                       help="write the rendering to FILE instead of stdout")
+
+    met_p = sub.add_parser(
+        "metrics",
+        help="sample (or load) a run's gauge series and render it")
+    add_scenario_args(met_p)
+    met_p.add_argument("--protocol", choices=sorted(PROTOCOLS),
+                       default="quorum")
+    met_p.add_argument("--period", type=float, default=1.0, metavar="S",
+                       help="sampling cadence in simulated seconds "
+                            "(default: %(default)s)")
+    met_p.add_argument("--in", dest="infile", default=None, metavar="FILE",
+                       help="render a JSONL export written with "
+                            "--metrics-out instead of running a scenario")
+    met_p.add_argument("--name", nargs="+", default=None, metavar="METRIC",
+                       help="only these metric names (default: all)")
+    met_p.add_argument("--format", default="spark",
+                       choices=["spark", "table", "csv", "jsonl"],
+                       help="rendering: sparklines, per-metric stats "
+                            "table, CSV (one column per metric) or "
+                            "canonical JSONL")
+    met_p.add_argument("--out", default=None, metavar="FILE",
+                       help="write the rendering to FILE instead of stdout")
 
     lay_p = sub.add_parser("layout", help="draw a Fig. 4-style layout")
     lay_p.add_argument("--nodes", type=int, default=100)
@@ -255,6 +309,20 @@ def install_trace(args: argparse.Namespace) -> None:
         set_trace_export(trace_out)
 
 
+def install_metrics(args: argparse.Namespace) -> None:
+    """Wire ``--metrics``/``--metrics-period``/``--metrics-out`` into
+    every scenario built."""
+    metrics_out = getattr(args, "metrics_out", None)
+    period = getattr(args, "metrics_period", None)
+    enabled = bool(getattr(args, "metrics", False) or metrics_out
+                   or period is not None)
+    ScenarioBuilder.set_default_metrics(enabled, period)
+    if metrics_out:
+        # The per-run exporter appends; start each invocation fresh.
+        open(metrics_out, "w", encoding="utf-8").close()
+        set_metrics_export(metrics_out)
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     result = run_scenario(scenario_from(args), protocol=args.protocol)
     rows = [
@@ -281,6 +349,10 @@ def cmd_run(args: argparse.Namespace) -> int:
     print(f"protocol: {args.protocol}  nodes: {args.nodes}  "
           f"seed: {args.seed}")
     print(format_table(["metric", "value"], rows))
+    if result.obs_metrics:
+        scenario = scenario_from(args)
+        print()
+        print(render_metrics(result.obs_metrics, scenario.metrics_period))
     return 0
 
 
@@ -315,10 +387,11 @@ def _install_executor(workers: Optional[int],
 
 
 def cmd_figure(args: argparse.Namespace) -> int:
-    if args.trace_out:
-        # Worker processes never inherit the export sink.
+    if args.trace_out or args.metrics_out:
+        # Worker processes never inherit the export sinks.
         if args.workers not in (None, 1):
-            print("note: --trace-out forces serial execution",
+            flag = "--trace-out" if args.trace_out else "--metrics-out"
+            print(f"note: {flag} forces serial execution",
                   file=sys.stderr)
         set_default_executor(SweepExecutor(workers=1, cache_dir=args.cache))
     else:
@@ -354,9 +427,10 @@ def cmd_sweep(args: argparse.Namespace) -> int:
               end="", file=sys.stderr, flush=True)
 
     workers = args.workers
-    if args.trace_out and workers != 1:
-        # Worker processes never inherit the export sink.
-        print("note: --trace-out forces serial execution (workers=1)",
+    if (args.trace_out or args.metrics_out) and workers != 1:
+        # Worker processes never inherit the export sinks.
+        flag = "--trace-out" if args.trace_out else "--metrics-out"
+        print(f"note: {flag} forces serial execution (workers=1)",
               file=sys.stderr)
         workers = 1
     executor = SweepExecutor(
@@ -393,6 +467,11 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     if span_totals:
         tally = " ".join(f"{k}={v}" for k, v in span_totals.items())
         print(f"spans: {tally}")
+    metric_totals = summary.obs_metric_totals()
+    if metric_totals:
+        samples = max(len(v) for v in metric_totals.values())
+        print(f"metrics: {len(metric_totals)} series x {samples} samples "
+              "(summed across cells)")
     if args.out:
         with open(args.out, "w", encoding="utf-8") as fh:
             fh.write(summary.to_json() + "\n")
@@ -424,6 +503,67 @@ def cmd_trace(args: argparse.Namespace) -> int:
         spans = build_spans(events)
         text = (render_spans(spans) if args.format == "spans"
                 else render_summary(spans))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+        print(f"wrote {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    if args.infile:
+        with open(args.infile, "r", encoding="utf-8") as fh:
+            blocks = series_from_jsonl(fh.read())
+    else:
+        scenario = dataclasses.replace(
+            scenario_from(args), metrics=True, metrics_period=args.period)
+        result = run_scenario(scenario, protocol=args.protocol)
+        header = {"period": args.period, "protocol": args.protocol,
+                  "seed": args.seed, "num_nodes": args.nodes,
+                  "samples": max((len(v) for v in
+                                  result.obs_metrics.values()), default=0)}
+        blocks = [(header, result.obs_metrics)]
+    pieces = []
+    for header, series in blocks:
+        period = float(header.get("period", 1.0))
+        if args.name:
+            missing = sorted(set(args.name) - set(series))
+            if missing:
+                print(f"warning: no series named {', '.join(missing)}",
+                      file=sys.stderr)
+            series = {name: values for name, values in series.items()
+                      if name in set(args.name)}
+        tag = " ".join(
+            f"{key}={header[key]}"
+            for key in ("protocol", "num_nodes", "seed")
+            if key in header)
+        if args.format == "jsonl":
+            # Carry the run identity so a later ``--in`` reload renders
+            # the same header tag as the direct run.
+            meta = {key: header[key]
+                    for key in ("protocol", "num_nodes", "seed")
+                    if key in header}
+            pieces.append(
+                series_to_jsonl(series, period, meta=meta).rstrip("\n"))
+        elif args.format == "csv":
+            pieces.append(series_to_csv(series, period).rstrip("\n"))
+        elif args.format == "table":
+            rows = [
+                [name, len(values),
+                 min(values) if values else 0,
+                 max(values) if values else 0,
+                 values[-1] if values else 0]
+                for name, values in sorted(series.items())
+            ]
+            table = format_table(
+                ["metric", "samples", "min", "max", "last"], rows)
+            pieces.append(f"{tag}\n{table}" if tag else table)
+        else:
+            rendered = render_metrics(series, period)
+            pieces.append(f"{tag}\n{rendered}" if tag else rendered)
+    text = "\n\n".join(pieces) if pieces else "(no metrics)"
     if args.out:
         with open(args.out, "w", encoding="utf-8") as fh:
             fh.write(text + "\n")
@@ -470,12 +610,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     install_faults(args)
     install_trace(args)
+    install_metrics(args)
     handlers = {
         "run": cmd_run,
         "compare": cmd_compare,
         "figure": cmd_figure,
         "sweep": cmd_sweep,
         "trace": cmd_trace,
+        "metrics": cmd_metrics,
         "layout": cmd_layout,
         "bench": cmd_bench,
         "lint": lint_cli.run,
@@ -483,11 +625,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         return handlers[args.command](args)
     finally:
-        # The --faults/--trace defaults are process-global; don't leak
-        # them into library callers that invoke main() programmatically.
+        # The --faults/--trace/--metrics defaults are process-global;
+        # don't leak them into library callers that invoke main()
+        # programmatically.
         ScenarioBuilder.set_default_faults(None)
         ScenarioBuilder.set_default_trace(False)
+        ScenarioBuilder.set_default_metrics(False)
         set_trace_export(None)
+        set_metrics_export(None)
 
 
 if __name__ == "__main__":

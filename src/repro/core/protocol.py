@@ -141,9 +141,12 @@ class QuorumProtocolAgent(
         # Adopting (or dropping) head state rewires the QDSet's size
         # write-through so the AgentStore column tracks every add/remove
         # without the mixins knowing about the registry.
+        flipped = (getattr(self, "_head", None) is None) != (state is None)
         self._head = state
         agents = self.ctx.agents
         node_id = self.node.node_id
+        if flipped:
+            agents.note_head_state(node_id)
         if state is None:
             agents.note_qdset_size(node_id, 0)
         else:

@@ -42,6 +42,8 @@ class ScenarioBuilder:
 
     _default_faults: Optional[FaultSpec] = None  # process-wide (CLI --faults)
     _default_trace: bool = False                 # process-wide (CLI --trace)
+    _default_metrics: bool = False               # process-wide (CLI --metrics)
+    _default_metrics_period: Optional[float] = None
 
     def __init__(self) -> None:
         self._fields: Dict[str, Any] = {}
@@ -75,6 +77,22 @@ class ScenarioBuilder:
     @classmethod
     def default_trace(cls) -> bool:
         return cls._default_trace
+
+    # ------------------------------------------------------------------
+    # Process-wide metrics attachment (the CLI's --metrics flag)
+    # ------------------------------------------------------------------
+    @classmethod
+    def set_default_metrics(cls, enabled: bool,
+                            period: Optional[float] = None) -> None:
+        """Enable gauge sampling on every scenario built without an
+        explicit ``metrics(...)`` call (``False`` resets; ``period``
+        overrides the sampling cadence when given)."""
+        cls._default_metrics = bool(enabled)
+        cls._default_metrics_period = period if enabled else None
+
+    @classmethod
+    def default_metrics(cls) -> bool:
+        return cls._default_metrics
 
     # ------------------------------------------------------------------
     # Fluent setters
@@ -192,6 +210,18 @@ class ScenarioBuilder:
         """Record structured protocol events during the run."""
         return self._set("trace", enabled)
 
+    def metrics(self, enabled: bool = True,
+                period: Optional[float] = None) -> "ScenarioBuilder":
+        """Sample run-level gauges on a fixed sim-time cadence."""
+        self._set("metrics", enabled)
+        if period is not None:
+            if period <= 0:
+                raise ValueError(
+                    f"ScenarioBuilder.metrics: period must be positive, "
+                    f"got {period}")
+            self._set("metrics_period", period)
+        return self
+
     def overrides(self, **fields: Any) -> "ScenarioBuilder":
         """Set raw scenario fields by name (validated against Scenario)."""
         for name, value in fields.items():
@@ -213,6 +243,11 @@ class ScenarioBuilder:
             fields["faults"] = faults
         if "trace" not in fields and ScenarioBuilder._default_trace:
             fields["trace"] = True
+        if "metrics" not in fields and ScenarioBuilder._default_metrics:
+            fields["metrics"] = True
+            period = ScenarioBuilder._default_metrics_period
+            if period is not None and "metrics_period" not in fields:
+                fields["metrics_period"] = period
         return Scenario(**fields)
 
 

@@ -83,6 +83,12 @@ class RunResult:
     # are sim-time derived, so serial and parallel runs agree exactly.
     obs_histograms: Dict[str, List[int]] = dataclasses.field(default_factory=dict)
     obs_spans: Dict[str, int] = dataclasses.field(default_factory=dict)
+    # Run-level gauge series (empty unless Scenario.metrics): one
+    # fixed-cadence sim-time series per registered metric name, sample
+    # i taken at t = i * Scenario.metrics_period.  Sampling rides the
+    # run's own simulator clock, so serial and parallel runs agree
+    # byte for byte (see repro.obs.metrics).
+    obs_metrics: Dict[str, List[int]] = dataclasses.field(default_factory=dict)
 
     # ------------------------------------------------------------------
     # Derived metrics (the quantities plotted in the paper)
@@ -228,6 +234,8 @@ class RunResult:
             del payload["obs_histograms"]
         if not payload["obs_spans"]:
             del payload["obs_spans"]
+        if not payload["obs_metrics"]:
+            del payload["obs_metrics"]
         return payload
 
     @classmethod

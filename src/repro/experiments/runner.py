@@ -22,8 +22,8 @@ from repro.mobility.base import Stationary
 from repro.net.context import NetworkContext
 from repro.net.node import Node
 from repro.obs import (
-    TraceRecorder, build_spans, span_histograms, span_outcomes,
-    trace_export_path,
+    MetricsRecorder, TraceRecorder, build_spans, metrics_export_path,
+    series_to_jsonl, span_histograms, span_outcomes, trace_export_path,
 )
 
 PROTOCOLS: Dict[str, Callable[..., Any]] = {
@@ -72,6 +72,9 @@ class ScenarioRunner:
         # scenario.trace is set; otherwise the bus stays subscriber-free
         # and every emission site short-circuits.
         self.recorder: Optional[TraceRecorder] = None
+        # Populated only when scenario.metrics is set; otherwise no
+        # sampling timer is ever scheduled (zero overhead).
+        self.metrics: Optional[MetricsRecorder] = None
         self.deaths: List[DeathRecord] = []
         self.graceful_departures = 0
         self.abrupt_departures = 0
@@ -93,6 +96,9 @@ class ScenarioRunner:
         self.ctx = ctx
         if scenario.trace:
             self.recorder = TraceRecorder().attach(ctx.obs)
+        if scenario.metrics:
+            self.metrics = MetricsRecorder(
+                period=scenario.metrics_period).attach(ctx)
         if self.count_hello_cost:
             ctx.hello.start()
 
@@ -252,6 +258,10 @@ class ScenarioRunner:
             obs_histograms = span_histograms(spans)
             obs_spans = span_outcomes(spans)
             self._export_trace()
+        obs_metrics: Dict[str, List[int]] = {}
+        if self.metrics is not None:
+            obs_metrics = self.metrics.series()
+            self._export_metrics(obs_metrics)
         return RunResult(
             protocol=self.protocol,
             num_nodes=self.scenario.num_nodes,
@@ -275,6 +285,7 @@ class ScenarioRunner:
             perf_counters=ctx.perf.counters_snapshot(),
             obs_histograms=obs_histograms,
             obs_spans=obs_spans,
+            obs_metrics=obs_metrics,
         )
 
     def _export_trace(self) -> None:
@@ -293,6 +304,20 @@ class ScenarioRunner:
         with open(path, "a", encoding="utf-8") as sink:
             sink.write(header + "\n")
             sink.write(self.recorder.to_jsonl())
+
+    def _export_metrics(self, series: Dict[str, List[int]]) -> None:
+        """Append this run's series to the process-wide sink, if any."""
+        assert self.metrics is not None
+        path = metrics_export_path()
+        if path is None:
+            return
+        block = series_to_jsonl(
+            series, self.metrics.period,
+            meta={"protocol": self.protocol,
+                  "seed": self.scenario.seed,
+                  "num_nodes": self.scenario.num_nodes})
+        with open(path, "a", encoding="utf-8") as sink:
+            sink.write(block)
 
 
 def run_scenario(

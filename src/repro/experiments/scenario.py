@@ -52,6 +52,14 @@ class Scenario:
             land on the :class:`~repro.experiments.metrics.RunResult`.
             ``False`` — the default — keeps the event bus empty (zero
             overhead) and the sweep-cache key unchanged.
+        metrics: sample run-level gauges (role counts, pool
+            utilization, component count, message rates — see
+            :mod:`repro.obs.metrics`) on a fixed sim-time cadence; the
+            series land on ``RunResult.obs_metrics``.  ``False`` — the
+            default — schedules nothing (zero overhead) and keeps the
+            sweep-cache key byte-identical to the pre-metrics layout.
+        metrics_period: sampling cadence in simulated seconds (only
+            meaningful with ``metrics=True``).
     """
 
     num_nodes: int = 100
@@ -71,8 +79,12 @@ class Scenario:
     seed: int = 0
     faults: Optional[FaultSpec] = None
     trace: bool = False
+    metrics: bool = False
+    metrics_period: float = 1.0
 
     def __post_init__(self) -> None:
+        if self.metrics_period <= 0:
+            raise ValueError("metrics_period must be positive")
         if self.num_nodes < 1:
             raise ValueError("num_nodes must be positive")
         if self.transmission_range <= 0:

@@ -106,6 +106,12 @@ class RunSpec:
         # they had before the observability layer existed.
         if not scenario.get("trace"):
             scenario.pop("trace", None)
+        # And for metrics: unsampled scenarios keep the pre-metrics
+        # key (the period is meaningless without sampling, so it is
+        # dropped together with the flag).
+        if not scenario.get("metrics"):
+            scenario.pop("metrics", None)
+            scenario.pop("metrics_period", None)
         return {
             "protocol": self.protocol,
             "scenario": scenario,
@@ -288,6 +294,7 @@ class SweepSummary:
         self._perf: Dict[str, int] = {}
         self._histograms: Dict[str, List[int]] = {}
         self._spans: Dict[str, int] = {}
+        self._metrics: Dict[str, List[int]] = {}
 
     def fold(self, cell: SweepCell) -> "SweepSummary":
         """Absorb one cell; returns self for chaining."""
@@ -307,6 +314,10 @@ class SweepSummary:
                 self._histograms, result.obs_histograms)
         for outcome, count in result.obs_spans.items():
             self._spans[outcome] = self._spans.get(outcome, 0) + count
+        if result.obs_metrics:
+            from repro.obs import merge_series
+
+            self._metrics = merge_series(self._metrics, result.obs_metrics)
         return self
 
     # -- the same aggregate surface SweepReport exposes ----------------
@@ -322,6 +333,11 @@ class SweepSummary:
     def obs_span_totals(self) -> Dict[str, int]:
         return dict(sorted(self._spans.items()))
 
+    def obs_metric_totals(self) -> Dict[str, List[int]]:
+        """Elementwise sum of every run's gauge series (empty when no
+        cell sampled metrics); see :func:`repro.obs.merge_series`."""
+        return dict(sorted(self._metrics.items()))
+
     def to_dict(self) -> Dict[str, Any]:
         """Deterministic JSON-safe payload (no wall-clock fields)."""
         return {
@@ -332,6 +348,7 @@ class SweepSummary:
             "perf_totals": self.perf_totals(),
             "obs_histogram_totals": self.obs_histogram_totals(),
             "obs_span_totals": self.obs_span_totals(),
+            "obs_metric_totals": self.obs_metric_totals(),
         }
 
     def to_json(self) -> str:
@@ -390,6 +407,21 @@ class SweepReport:
         for result in self.results:
             for outcome, count in result.obs_spans.items():
                 totals[outcome] = totals.get(outcome, 0) + count
+        return dict(sorted(totals.items()))
+
+    def obs_metric_totals(self) -> Dict[str, List[int]]:
+        """Elementwise sum of every run's gauge series.
+
+        Series are fixed-cadence sim-time buckets (ragged tails
+        zero-extended), so merging is exact and independent of worker
+        count or cell order.  Empty when no cell sampled metrics.
+        """
+        from repro.obs import merge_series
+
+        totals: Dict[str, List[int]] = {}
+        for result in self.results:
+            if result.obs_metrics:
+                totals = merge_series(totals, result.obs_metrics)
         return dict(sorted(totals.items()))
 
     def stream(self) -> Iterator[SweepCell]:

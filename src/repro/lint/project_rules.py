@@ -1,6 +1,6 @@
 """The cross-module rules that run over the :class:`ProjectGraph`.
 
-Five invariants that no per-file pass can check:
+Six invariants that no per-file pass can check:
 
 * ``rng-taint`` — named RNG streams stay inside the subsystem that owns
   them, and generators never flow into cache-key construction.
@@ -14,6 +14,9 @@ Five invariants that no per-file pass can check:
 * ``counter-registry`` — every literal ``perf.incr``/``perf.get``/
   ``perf.timer`` name comes from the central registry
   (:mod:`repro.perf.counters`); dynamically-built names are errors.
+* ``metric-registry`` — every literal ``metrics.record`` gauge name
+  comes from the central registry (:mod:`repro.obs.metric_names`);
+  dynamically-built names are errors.
 * ``layering`` — runtime imports respect the layer DAG and introduce
   no module-level cycles.
 
@@ -552,7 +555,64 @@ class CounterRegistryRule(ProjectRule):
 
 
 # ---------------------------------------------------------------------------
-# Rule 5: layering
+# Rule 5: metric registry
+# ---------------------------------------------------------------------------
+
+class MetricRegistryRule(ProjectRule):
+    name = "metric-registry"
+    description = ("MetricsRecorder gauge names come from the "
+                   "repro.obs.metric_names registry, never inline "
+                   "literals")
+    severity = Severity.ERROR
+
+    def check_project(self, graph: ProjectGraph) -> Iterator[Finding]:
+        registry = graph.module(spec.METRIC_NAMES_MODULE)
+        if registry is None:
+            return
+        # ``*_PREFIX`` constants are family stems consumed by the
+        # registry's helper functions, not sampleable names themselves.
+        known = {value for name, value in registry.constants.items()
+                 if not name.endswith("_PREFIX")}
+        for mod_name in sorted(graph.modules):
+            mod = graph.modules[mod_name]
+            if mod.name == spec.METRIC_NAMES_MODULE:
+                continue
+            for node in ast.walk(mod.ctx.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                if not self._is_record(node.func) or not node.args:
+                    continue
+                arg = node.args[0]
+                if isinstance(arg, ast.Constant) and isinstance(arg.value,
+                                                                str):
+                    if arg.value not in known:
+                        yield graph.finding(
+                            self, mod, node,
+                            f"metrics.record({arg.value!r}) is not in the "
+                            f"{spec.METRIC_NAMES_MODULE} registry — import "
+                            f"the constant (unregistered names fragment "
+                            f"the series schema across runs)")
+                elif isinstance(arg, ast.JoinedStr):
+                    yield graph.finding(
+                        self, mod, node,
+                        f"metrics.record() name is built dynamically; use "
+                        f"a registry constant or helper from "
+                        f"{spec.METRIC_NAMES_MODULE}")
+
+    @staticmethod
+    def _is_record(func: ast.AST) -> bool:
+        """``record`` calls whose receiver chain ends in a component
+        named ``metrics`` (``self.metrics``, a ``metrics`` parameter)."""
+        if not isinstance(func, ast.Attribute) or func.attr != "record":
+            return False
+        dotted = _dotted_source(func.value)
+        if dotted is None:
+            return False
+        return dotted == "metrics" or dotted.endswith(".metrics")
+
+
+# ---------------------------------------------------------------------------
+# Rule 6: layering
 # ---------------------------------------------------------------------------
 
 class LayeringRule(ProjectRule):
@@ -646,5 +706,6 @@ PROJECT_RULES: Tuple[ProjectRule, ...] = (
     ObsCoverageRule(),
     StateMachineRule(),
     CounterRegistryRule(),
+    MetricRegistryRule(),
     LayeringRule(),
 )

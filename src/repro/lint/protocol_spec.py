@@ -39,6 +39,7 @@ from typing import Dict, FrozenSet, Tuple
 MESSAGES_MODULE = "repro.core.messages"
 EVENTS_MODULE = "repro.obs.events"
 COUNTERS_MODULE = "repro.perf.counters"
+METRIC_NAMES_MODULE = "repro.obs.metric_names"
 RNG_MODULE = "repro.sim.rng"
 
 #: ``self.<helper>(dst, m.TYPE, ...)`` calls that perform a send; the

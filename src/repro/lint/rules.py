@@ -17,11 +17,12 @@ from repro.lint.project import ProjectRule
 from repro.lint.project_rules import PROJECT_RULES
 
 # Packages whose runtime must stay deterministic and dependency-free.
-# repro.perf (wall-clock timers by design) and repro.experiments.sweep
-# (wall-clock reporting around the cached runs) are the two sanctioned
-# exceptions.
+# repro.perf (wall-clock timers by design), repro.experiments.sweep
+# (wall-clock reporting around the cached runs), the lint CLI and
+# repro.obs.profile (the subsystem profiler times event callbacks on
+# the engine's behalf) are the sanctioned exceptions.
 _WALLCLOCK_ALLOWED = ("repro.perf", "repro.experiments.sweep",
-                      "repro.lint.cli")
+                      "repro.lint.cli", "repro.obs.profile")
 
 _TIME_BANNED = {
     "time", "time_ns", "perf_counter", "perf_counter_ns",
@@ -93,7 +94,8 @@ class DeterminismRule(Rule):
     name = "determinism"
     description = ("time.time/perf_counter/datetime.now/module-level "
                    "random are banned outside repro.perf, "
-                   "repro.experiments.sweep and the lint CLI")
+                   "repro.experiments.sweep, repro.obs.profile and "
+                   "the lint CLI")
     severity = Severity.ERROR
 
     def applies(self, ctx: FileContext) -> bool:

@@ -88,9 +88,10 @@ class AgentStore:
         #: Bumped whenever slot numbering changes (compaction).  Slot
         #: references held outside the store are invalid across bumps.
         self.layout_version = 0
-        #: Bumped on membership and role/network-id changes — the cheap
-        #: half of the cache key for derived protocol views (the other
-        #: half is ``Topology.graph_version``; see
+        #: Bumped on membership, role/network-id, head-state, and
+        #: address-bound transitions — the cheap half of the cache key
+        #: for derived protocol views (the other half is
+        #: ``Topology.graph_version``; see
         #: :meth:`~repro.net.context.NetworkContext.component_heads`).
         self.role_epoch = 0
         #: code -> role string; code 0 is always "" (no role).
@@ -257,11 +258,25 @@ class AgentStore:
         where."""
         self.role_epoch += 1
 
+    def note_head_state(self, node_id: int) -> None:
+        """Record that a node adopted or dropped allocator (head) state.
+
+        ``is_head`` requires the head state alongside the role code, so
+        the flip versions the derived per-component head tables even
+        when the role write-through has not happened yet."""
+        self.role_epoch += 1
+
     def note_address(self, node_id: int, address: Optional[int]) -> None:
         slot = self.slot_of.get(node_id)
         if slot is not None:
-            self.addresses[slot] = (
-                NO_ADDRESS if address is None else int(address))
+            new = NO_ADDRESS if address is None else int(address)
+            # Configured-ness feeds the derived per-component head
+            # tables; version them when bound-ness flips (a rebind to
+            # a different address changes neither configured-ness nor
+            # head-ness, so it does not).
+            if (self.addresses[slot] == NO_ADDRESS) != (new == NO_ADDRESS):
+                self.role_epoch += 1
+            self.addresses[slot] = new
 
     def note_qdset_size(self, node_id: int, size: int) -> None:
         slot = self.slot_of.get(node_id)

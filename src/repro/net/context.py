@@ -74,11 +74,11 @@ class NetworkContext:
         # left to merge with" (merge scan).  One O(n) pass builds it;
         # without the cache each asker walked its own neighborhood or
         # component per scan — O(n^2) per scan round.  Keyed on
-        # (graph_version, role_epoch) so any topology rebuild or
-        # role/network transition invalidates it; the TTL is a backstop
-        # against state changes neither key covers.
+        # (graph_version, role_epoch): topology rebuilds bump the
+        # former; role, network-id, head-state, and address-bound
+        # transitions bump the latter, so every input the table reads
+        # is covered and no TTL backstop is needed.
         self._comp_heads_key: Tuple[int, int] = (-1, -1)
-        self._comp_heads_at: float = -1.0
         self._comp_heads: Dict[int, Tuple[Tuple[int, ...],
                                           FrozenSet[Optional[int]],
                                           FrozenSet[Optional[int]]]] = {}
@@ -133,10 +133,6 @@ class NetworkContext:
     # ------------------------------------------------------------------
     # Component-level role queries (connectivity labels + agent columns)
     # ------------------------------------------------------------------
-    #: Backstop recompute interval for the per-component head table, in
-    #: sim seconds — shorter than every periodic scan that consumes it.
-    COMP_HEADS_TTL = 1.0
-
     _NO_HEADS: Tuple[Tuple[int, ...], FrozenSet[Optional[int]],
                      FrozenSet[Optional[int]]] = ((), frozenset(), frozenset())
 
@@ -151,9 +147,7 @@ class NetworkContext:
         if component is None:
             return self._NO_HEADS
         key = (topology.graph_version, self.agents.role_epoch)
-        now = self.sim.now
-        if (key != self._comp_heads_key
-                or now - self._comp_heads_at >= self.COMP_HEADS_TTL):
+        if key != self._comp_heads_key:
             table: Dict[int, Tuple[List[int], Set[Optional[int]],
                                    Set[Optional[int]]]] = {}
             for nid, agent in self.agents.items():
@@ -178,7 +172,6 @@ class NetworkContext:
                        frozenset(nets))
                 for comp, (ids, hnets, nets) in table.items()}
             self._comp_heads_key = key
-            self._comp_heads_at = now
         return self._comp_heads.get(component, self._NO_HEADS)
 
     def component_heads(self, node_id: int) -> Tuple[int, ...]:

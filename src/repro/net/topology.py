@@ -282,12 +282,14 @@ class Topology:
         self._force_full = False
         self._members_dirty = False
         self._graph_time = now
-        self._graph_version += 1
         self._graph_layout = self._nodes.layout_version
         if changed:
             # A refresh that moved nothing leaves the graph — and
-            # therefore every memoized BFS answer — bit-identical, so
-            # the memo survives; any actual change drops it wholesale.
+            # therefore every memoized BFS answer and every
+            # version-keyed derived view — bit-identical, so the memo
+            # and the version survive; any actual change drops the one
+            # and bumps the other.
+            self._graph_version += 1
             self._bfs_cache.clear()
 
     def _full_rebuild(self, alive: List[int]) -> None:
@@ -761,6 +763,20 @@ class Topology:
         """Number of connected components in the current graph."""
         self._ensure_labels()
         self.perf.incr(cnt.CONN_LABEL_HITS)
+        return len(self._comp_members)
+
+    def component_count_stale(self) -> int:
+        """Component count as of the last label maintenance — passive.
+
+        The observer's read (the metrics layer samples this): it never
+        forces a rebuild or relabel, never activates the label layer,
+        and never touches a perf counter, so sampling it cannot perturb
+        a run.  The price is staleness — a pending rebuild is not
+        reflected until a real label query lands — and 0 when the label
+        layer was never activated at all.
+        """
+        if not self._labels_active:
+            return 0
         return len(self._comp_members)
 
     # ------------------------------------------------------------------

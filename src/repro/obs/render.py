@@ -70,3 +70,57 @@ def render_summary(spans: List[Span]) -> str:
     outcomes: Dict[str, int] = span_outcomes(spans)
     tally = " ".join(f"{k}={v}" for k, v in outcomes.items())
     return f"spans: {len(spans)}" + (f" ({tally})" if tally else "")
+
+
+# ----------------------------------------------------------------------
+# Metrics series (``repro metrics``)
+# ----------------------------------------------------------------------
+
+_SPARK_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: List[int], width: int = 60) -> str:
+    """A fixed-width block-character sketch of one series.
+
+    Longer series are downsampled by bucketing (each output column is
+    the max of its bucket, so short spikes stay visible); the vertical
+    scale is the series' own min..max.
+    """
+    if not values:
+        return ""
+    if len(values) > width:
+        buckets = []
+        for col in range(width):
+            lo = col * len(values) // width
+            hi = max(lo + 1, (col + 1) * len(values) // width)
+            buckets.append(max(values[lo:hi]))
+    else:
+        buckets = list(values)
+    low, high = min(buckets), max(buckets)
+    span = high - low
+    top = len(_SPARK_BLOCKS) - 1
+    return "".join(
+        _SPARK_BLOCKS[0 if span == 0 else round((v - low) / span * top)]
+        for v in buckets)
+
+
+def render_metrics(series: Dict[str, List[int]], period: float,
+                   width: int = 60) -> str:
+    """One sparkline row per metric, name-sorted and column-aligned."""
+    if not series:
+        return "(no metrics)"
+    samples = max(len(values) for values in series.values())
+    name_w = max(len(name) for name in series)
+    last_w = max(len(str(values[-1] if values else 0))
+                 for values in series.values())
+    lines = []
+    for name in sorted(series):
+        values = series[name]
+        last = values[-1] if values else 0
+        low = min(values) if values else 0
+        high = max(values) if values else 0
+        lines.append(f"{name:<{name_w}}  {last:>{last_w}}  "
+                     f"[{low}..{high}] {sparkline(values, width)}")
+    lines.append(f"({len(series)} series, {samples} samples, "
+                 f"period {period:g}s)")
+    return "\n".join(lines)

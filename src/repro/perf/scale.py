@@ -64,6 +64,16 @@ Schema v3 adds two things on top of the engine matrix:
   heal deltas stay near-constant from 1k to 10k — cost follows the
   component, not the population.
 
+Schema v4 adds an ``attribution`` section to every protocol cell: the
+subsystem profiler (:mod:`repro.obs.profile`) rides the run as the
+engine's profile hook, charging each fired event's wall clock to the
+package that owns its callback and tracing settle-window allocations
+with :mod:`tracemalloc`.  The section names the per-subsystem cost
+floor of a settled network — which package burns the steady-state
+budget at n=10k, in seconds and bytes, not just in counter units.
+Like every ``wall`` number it is informational: machine-dependent,
+never compared by the gate.
+
 The committed baseline lives at the repo root as ``BENCH_scale.json``
 (schema in docs/BENCHMARKS.md, methodology in docs/SCALING.md); CI's
 perf-smoke job gates the n=1k cell on every push.
@@ -85,12 +95,13 @@ from repro.mobility.waypoint import RandomWaypoint
 from repro.net.context import NetworkContext
 from repro.net.node import Node
 from repro.net.topology import Topology
+from repro.obs.profile import SubsystemProfiler
 from repro.perf import PerfRecorder
 from repro.perf import counters as cnt
 from repro.sim.engine import Simulator
 from repro.sim.rng import generator_from_seed
 
-SCALE_SCHEMA_VERSION = 3
+SCALE_SCHEMA_VERSION = 4
 DEFAULT_SCALE_BASELINE = Path("BENCH_scale.json")
 DEFAULT_SCALE_TOLERANCE = 0.25
 
@@ -357,21 +368,36 @@ def _run_protocol_size(n: int, *, seed: int) -> Dict[str, Any]:
         for i in range(n)
     ]
 
+    # The subsystem profiler rides the whole run as the engine's
+    # profile hook: every fired event is charged to the package owning
+    # its callback.  Event order and counters are untouched — only the
+    # wall numbers (informational, never gated) absorb its overhead.
+    profiler = SubsystemProfiler().install(sim)
+
     start = time.perf_counter()
-    setup = bulk_configure(ctx, cfg, nodes)
+    with profiler.phase("bootstrap"):
+        setup = bulk_configure(ctx, cfg, nodes)
     bootstrap_s = time.perf_counter() - start
     # Activate the connectivity labels up front: every rebuild from here
     # on (entrant adds, the moat cut, the heal) must ride the delta
     # path, and every partition-detection query must be a label hit.
     topo.component_count()
-    sim.run(until=SETTLE_S)
+    # The settle window is the steady-state floor being attributed:
+    # memory tracing brackets exactly this window, so the per-package
+    # byte totals are what a healthy settled network accretes.
+    profiler.start_memory()
+    with profiler.phase("settle"):
+        sim.run(until=SETTLE_S)
+    settle_memory = profiler.memory_by_package()
+    profiler.stop_memory()
 
     phases: Dict[str, Dict[str, Any]] = {}
 
     def run_phase(name: str, fn: Any) -> None:
         before = _counters_union(ctx)
         start = time.perf_counter()
-        fn()
+        with profiler.phase(name):
+            fn()
         wall = time.perf_counter() - start
         after = _counters_union(ctx)
         phases[name] = {
@@ -445,6 +471,10 @@ def _run_protocol_size(n: int, *, seed: int) -> Dict[str, Any]:
 
     run_phase("heal", heal)
 
+    profiler.uninstall()
+    attribution = profiler.report()
+    attribution["settle_memory_bytes"] = settle_memory
+
     agents = setup.agents + entrants
     alive = [agent for agent in agents
              if agent.node.alive and agent.is_configured()]
@@ -470,6 +500,10 @@ def _run_protocol_size(n: int, *, seed: int) -> Dict[str, Any]:
             "final_size": sim.heap_size,
             "final_pending": sim.pending_events,
         },
+        # Wall-clock/byte attribution per subsystem (repro.obs.profile).
+        # Machine-dependent and informational: check_scale_regression
+        # iterates named sections and never reads this one.
+        "attribution": attribution,
         "counters": _counters_union(ctx),
     }
 

@@ -11,7 +11,7 @@ priority class), which keeps runs reproducible.
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, List, Optional, Tuple
 
 from repro.sim.events import Event, EventHandle
 from repro.sim.rng import RandomStreams
@@ -70,6 +70,8 @@ class Simulator:
         # Schedule-op count at the last compaction; primed so the first
         # compaction is never delayed by the amortization interval.
         self._last_compact_seq: int = -self.COMPACT_MIN_INTERVAL
+        self._profile_hook: Optional[
+            Callable[[Callable[..., Any], Tuple[Any, ...]], None]] = None
         self.streams = RandomStreams(seed)
 
     # ------------------------------------------------------------------
@@ -182,6 +184,24 @@ class Simulator:
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
+    def set_profile_hook(
+        self,
+        hook: Optional[Callable[[Callable[..., Any], Tuple[Any, ...]], None]],
+    ) -> None:
+        """Install a profiling hook that fires events on the engine's
+        behalf.
+
+        With a hook set, :meth:`step` calls ``hook(callback, args)``
+        instead of ``callback(*args)``; the hook must invoke the
+        callback exactly once.  Event selection, ordering and the clock
+        are untouched, so a profiled run is bit-identical to an
+        unprofiled one.  The engine itself never reads the wall clock
+        (that would break determinism linting); timing belongs to the
+        hook (:class:`repro.obs.profile.SubsystemProfiler`).  ``None``
+        removes the hook.
+        """
+        self._profile_hook = hook
+
     def step(self) -> bool:
         """Fire the next live event.  Returns False if the queue is empty."""
         while self._heap:
@@ -191,7 +211,10 @@ class Simulator:
             self._pending -= 1
             self._now = event.time
             assert event.callback is not None
-            event.callback(*event.args)
+            if self._profile_hook is None:
+                event.callback(*event.args)
+            else:
+                self._profile_hook(event.callback, event.args)
             return True
         return False
 

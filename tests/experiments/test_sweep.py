@@ -1,12 +1,13 @@
 """The parallel sweep executor: determinism, caching, failure paths."""
 
+import dataclasses
 import json
 
 import pytest
 
 from repro.core.config import ProtocolConfig
 from repro.experiments import Scenario, figures, run_specs
-from repro.experiments.metrics import RunResult
+from repro.experiments.metrics import DeathRecord, NodeOutcome, RunResult
 from repro.experiments.sweep import (
     RunCache,
     RunSpec,
@@ -65,6 +66,58 @@ def test_runresult_json_roundtrip_is_lossless():
     assert result.deaths or result.graceful_departures  # exercise both lists
     restored = RunResult.from_dict(json.loads(json.dumps(result.to_dict())))
     assert restored == result
+
+
+def test_runresult_roundtrip_covers_every_field():
+    """A fully-populated result — every optional observability field
+    included — survives the JSON round-trip, and an unpopulated result
+    ships none of the optional fields (the cache-format back-compat
+    guarantee)."""
+    full = RunResult(
+        protocol="quorum",
+        num_nodes=2,
+        duration=30.0,
+        outcomes=[NodeOutcome(node_id=1, configured=True, failed=False,
+                              latency_hops=2, latency_time=1.5, attempts=1,
+                              is_head=True, ip=7, network_id=1, alive=True,
+                              reconfigurations=0)],
+        stats_hops={"config": 4},
+        stats_msgs={"config": 2},
+        deaths=[DeathRecord(node_id=2, time=9.0, was_head=False,
+                            qdset_members=(1,), ever_reported=True,
+                            allocations_since_report=1,
+                            allocations_total=3, root_id=1)],
+        graceful_departures=1,
+        abrupt_departures=1,
+        graceful_ids=frozenset({3}),
+        qdset_sizes=[2, 3],
+        extension_ratios=[0.5],
+        ip_space_total=64,
+        quorum_space_total=16,
+        head_count=1,
+        duplicate_addresses=0,
+        leaked_addresses=0,
+        stats_drops={"config": 1},
+        events={"quorum_shrink": 2},
+        perf_counters={"graph_rebuilds": 5},
+        obs_histograms={"config_attempt": [0, 1, 0]},
+        obs_spans={"config_attempt:ok": 1},
+        obs_metrics={"agents_live": [0, 1, 2]},
+    )
+    payload = full.to_dict()
+    # Every dataclass field is present when populated...
+    assert set(payload) == {f.name for f in dataclasses.fields(RunResult)}
+    assert RunResult.from_dict(json.loads(json.dumps(payload))) == full
+
+    # ...and every empty optional is dropped from the payload.
+    bare = RunResult(protocol="dad", num_nodes=0, duration=0.0, outcomes=[],
+                     stats_hops={}, stats_msgs={}, deaths=[],
+                     graceful_departures=0, abrupt_departures=0)
+    trimmed = bare.to_dict()
+    for optional in ("stats_drops", "events", "perf_counters",
+                     "obs_histograms", "obs_spans", "obs_metrics"):
+        assert optional not in trimmed
+    assert RunResult.from_dict(json.loads(json.dumps(trimmed))) == bare
 
 
 # ---------------------------------------------------------------------------

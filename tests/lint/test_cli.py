@@ -41,7 +41,7 @@ def test_clean_tree_exits_zero(checkout, capsys):
     checkout.write("src/repro/core/good.py", CLEAN)
     assert lint() == 0
     out = capsys.readouterr().out
-    assert "1 files scanned, 15 rules, 0 findings" in out
+    assert "1 files scanned, 16 rules, 0 findings" in out
 
 
 def test_findings_exit_one_with_rendered_lines(checkout, capsys):

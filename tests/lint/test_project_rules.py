@@ -374,6 +374,78 @@ def test_counter_registry_silent_without_registry_module(tree):
 
 
 # ---------------------------------------------------------------------------
+# metric-registry
+# ---------------------------------------------------------------------------
+
+METRIC_REGISTRY = """\
+    AGENTS_LIVE = "agents_live"
+    MSGS_PREFIX = "msgs_"
+    """
+
+
+def test_metric_registry_flags_unregistered_literal(tree):
+    tree.write("src/repro/obs/metric_names.py", METRIC_REGISTRY)
+    tree.write("src/repro/obs/sampler.py", """\
+        class Sampler:
+            def sample(self):
+                self.metrics.record("agents_live", 1)
+                self.metrics.record("agents_alive", 1)
+        """)
+    findings = tree.findings(select={"metric-registry"})
+    assert len(findings) == 1
+    assert "'agents_alive'" in findings[0].message
+
+
+def test_metric_registry_prefixes_are_not_sampleable_names(tree):
+    # ``*_PREFIX`` constants are family stems for the helper functions;
+    # recording one directly is a registry miss.
+    tree.write("src/repro/obs/metric_names.py", METRIC_REGISTRY)
+    tree.write("src/repro/obs/sampler.py", """\
+        class Sampler:
+            def sample(self):
+                self.metrics.record("msgs_", 1)
+        """)
+    findings = tree.findings(select={"metric-registry"})
+    assert len(findings) == 1
+
+
+def test_metric_registry_flags_dynamic_names(tree):
+    tree.write("src/repro/obs/metric_names.py", METRIC_REGISTRY)
+    tree.write("src/repro/obs/sampler.py", """\
+        class Sampler:
+            def sample(self, role):
+                self.metrics.record(f"role_{role}", 1)
+        """)
+    findings = tree.findings(select={"metric-registry"})
+    assert len(findings) == 1
+    assert "built dynamically" in findings[0].message
+
+
+def test_metric_registry_accepts_helper_built_names(tree):
+    # Non-literal first arguments (helper calls, constants) pass: the
+    # helpers append to registered prefixes.
+    tree.write("src/repro/obs/metric_names.py", METRIC_REGISTRY)
+    tree.write("src/repro/obs/sampler.py", """\
+        from repro.obs.metric_names import AGENTS_LIVE, msg_metric
+
+        class Sampler:
+            def sample(self, category):
+                self.metrics.record(AGENTS_LIVE, 1)
+                self.metrics.record(msg_metric(category), 1)
+        """)
+    assert tree.findings(select={"metric-registry"}) == []
+
+
+def test_metric_registry_silent_without_registry_module(tree):
+    tree.write("src/repro/obs/sampler.py", """\
+        class Sampler:
+            def sample(self):
+                self.metrics.record("anything_goes", 1)
+        """)
+    assert tree.findings(select={"metric-registry"}) == []
+
+
+# ---------------------------------------------------------------------------
 # layering
 # ---------------------------------------------------------------------------
 

@@ -152,14 +152,42 @@ def test_component_tables_refresh_on_topology_split():
     assert ctx.component_heads(1) == (1,)
 
 
-def test_component_tables_ttl_backstop_catches_silent_changes():
+def test_component_tables_refresh_on_head_state_transition():
     ctx = make_ctx()
     head = add(ctx, 1, allocator=True, configured=True, network_id=7)
     add(ctx, 2, configured=True, network_id=7)
     assert ctx.component_heads(2) == (1,)
-    # Mutate without the write-through hook: neither cache key moves,
-    # so only the TTL expiry can surface the change.
+    # Dropping head state without a role transition still goes through
+    # the write-through hook, which must invalidate the cached table.
     head._allocator = False
-    assert ctx.component_heads(2) == (1,)  # stale, within TTL
-    ctx.sim._now += NetworkContext.COMP_HEADS_TTL
+    ctx.agents.note_head_state(1)
     assert ctx.component_heads(2) == ()
+
+
+def test_component_tables_refresh_when_address_bound_ness_flips():
+    ctx = make_ctx()
+    add(ctx, 1, allocator=True, configured=True, network_id=7)
+    agent = add(ctx, 2, configured=False, network_id=None)
+    assert ctx.component_networks(1) == frozenset({7})
+    # Binding an IP flips bound-ness, which versions the table.
+    agent._configured = True
+    agent.network_id = 9
+    ctx.bind_ip(42, 2)
+    assert ctx.component_networks(1) == frozenset({7, 9})
+    # Unbinding flips it back — again through the hook.
+    agent._configured = False
+    ctx.unbind_ip(42)
+    assert ctx.component_networks(1) == frozenset({7})
+
+
+def test_rebinding_to_a_new_address_does_not_version_the_tables():
+    ctx = make_ctx()
+    add(ctx, 1, configured=True, network_id=7)
+    ctx.bind_ip(42, 1)
+    epoch = ctx.agents.role_epoch
+    # Same bound-ness, different address: configured-ness and head-ness
+    # are unchanged, so the derived tables stay valid.
+    ctx.agents.note_address(1, 43)
+    assert ctx.agents.role_epoch == epoch
+    ctx.agents.note_address(1, None)
+    assert ctx.agents.role_epoch == epoch + 1

@@ -1,0 +1,169 @@
+"""Unit and integration tests for the subsystem attribution profiler."""
+
+import functools
+import json
+
+import pytest
+
+from repro.net.context import NetworkContext
+from repro.obs.profile import OTHER, SubsystemProfiler, package_of
+from repro.sim.engine import Simulator
+from repro.sim.timers import PeriodicTimer, Timer
+
+
+def _net_callback():
+    """Module-level target so package_of sees tests' module path."""
+
+
+def test_package_of_truncates_to_two_components():
+    timer = Timer(Simulator(), _net_callback)
+    assert package_of(timer._fire) == package_of(_net_callback)
+
+    class Owner:
+        def method(self):
+            pass
+
+    # A bound method is charged to its class's module.
+    assert package_of(Owner().method) == package_of(_net_callback)
+
+
+def test_package_of_unwraps_partials_and_timer_trampolines():
+    sim = Simulator()
+    base = package_of(_net_callback)
+    assert package_of(functools.partial(_net_callback)) == base
+    assert package_of(
+        functools.partial(functools.partial(_net_callback))) == base
+    assert package_of(Timer(sim, _net_callback)._fire) == base
+    assert package_of(
+        PeriodicTimer(sim, 1.0, _net_callback)._fire) == base
+    # Partial wrapping a timer trampoline unwraps through both layers.
+    assert package_of(
+        functools.partial(Timer(sim, _net_callback)._fire)) == base
+
+
+def test_package_of_buckets_unowned_callables_as_other():
+    # Builtins resolve to their real (non-repro) module...
+    assert package_of(len) == "builtins"
+    assert package_of({}.get) == "builtins"
+
+    class Unowned:
+        __module__ = ""
+
+        def __call__(self):
+            pass
+
+    # ...and callables with no module at all land in the OTHER bucket.
+    assert package_of(Unowned()) == OTHER
+
+
+def test_install_twice_raises_and_uninstall_is_idempotent():
+    sim = Simulator()
+    profiler = SubsystemProfiler().install(sim)
+    with pytest.raises(RuntimeError):
+        profiler.install(sim)
+    profiler.uninstall()
+    profiler.uninstall()
+    profiler.install(sim)
+    profiler.uninstall()
+
+
+def test_events_are_charged_to_the_owning_package():
+    sim = Simulator()
+    profiler = SubsystemProfiler().install(sim)
+    sim.schedule(1.0, _net_callback)
+    Timer(sim, _net_callback).start(2.0)
+    sim.run(until=3.0)
+    profiler.uninstall()
+    packages = profiler.packages()
+    bucket = package_of(_net_callback)
+    # The timer-fired event is charged to the callback's package, not
+    # to the repro.sim trampoline.
+    assert packages[bucket]["events"] == 2
+    assert packages[bucket]["wall_s"] >= 0.0
+
+
+def test_phase_nesting_separates_self_from_total():
+    profiler = SubsystemProfiler()
+    with profiler.phase("outer"):
+        with profiler.phase("inner"):
+            sum(range(10_000))
+    report = profiler.report()
+    outer = report["phases"]["outer"]
+    inner = report["phases"]["inner"]
+    assert outer["calls"] == 1 and inner["calls"] == 1
+    assert outer["total_s"] >= inner["total_s"]
+    # Outer self time excludes the nested bracket.
+    assert outer["self_s"] <= outer["total_s"] - inner["total_s"] + 1e-6
+    assert inner["self_s"] == pytest.approx(inner["total_s"])
+
+
+def test_phase_package_deltas_cover_only_bracketed_events():
+    sim = Simulator()
+    profiler = SubsystemProfiler().install(sim)
+    sim.schedule_at(1.0, _net_callback)
+    with profiler.phase("first"):
+        sim.run(until=1.5)
+    sim.schedule_at(2.0, _net_callback)
+    sim.schedule_at(2.5, _net_callback)
+    with profiler.phase("second"):
+        sim.run(until=3.0)
+    profiler.uninstall()
+    phases = profiler.report()["phases"]
+    bucket = package_of(_net_callback)
+    assert phases["first"]["packages"][bucket]["events"] == 1
+    assert phases["second"]["packages"][bucket]["events"] == 2
+
+
+def test_repeated_phases_accumulate_under_one_name():
+    profiler = SubsystemProfiler()
+    for _ in range(3):
+        with profiler.phase("loop"):
+            pass
+    assert profiler.report()["phases"]["loop"]["calls"] == 3
+
+
+def test_profiled_run_fires_identical_events_in_identical_order():
+    def drive(profiled):
+        sim = Simulator()
+        order = []
+        profiler = SubsystemProfiler().install(sim) if profiled else None
+        for i in range(20):
+            sim.schedule(float((i * 7) % 5) + 0.01 * i,
+                         lambda i=i: order.append(i))
+        ticker = PeriodicTimer(sim, 1.0, lambda: order.append("tick"))
+        ticker.start()
+        fired = sim.run(until=6.0)
+        if profiler is not None:
+            profiler.uninstall()
+        return order, fired, sim.now
+
+    assert drive(False) == drive(True)
+
+
+def test_memory_by_package_requires_active_tracing():
+    profiler = SubsystemProfiler()
+    assert profiler.memory_by_package() == {}
+    profiler.start_memory()
+    try:
+        ctx = NetworkContext.build(seed=1)
+        ctx.sim.run(until=5.0)
+        by_package = profiler.memory_by_package()
+    finally:
+        profiler.stop_memory()
+    assert by_package
+    assert any(name.startswith("repro.") for name in by_package)
+    assert all(size >= 0 for size in by_package.values())
+    assert profiler.memory_by_package() == {}
+
+
+def test_report_is_json_serializable():
+    sim = Simulator()
+    profiler = SubsystemProfiler().install(sim)
+    sim.schedule(0.5, _net_callback)
+    with profiler.phase("only"):
+        sim.run(until=1.0)
+    profiler.uninstall()
+    payload = profiler.report()
+    assert set(payload) == {"packages", "phases"}
+    restored = json.loads(json.dumps(payload))
+    assert restored["phases"]["only"]["calls"] == 1
